@@ -1,0 +1,116 @@
+// Command flatbench reproduces the paper's evaluation: one experiment
+// per figure/table of "Accelerating Range Queries for Brain Simulations"
+// (ICDE 2012). Each experiment generates its data sets, builds the
+// required indexes (FLAT plus the Hilbert/STR/Priority R-tree
+// baselines), replays the micro-benchmarks with cold caches, and prints
+// the figure's rows.
+//
+// Usage:
+//
+//	flatbench -fig 12              # one experiment
+//	flatbench -fig 2,12,15 -v      # several, with progress logging
+//	flatbench -fig all -quick      # the full suite at smoke-test scale
+//	flatbench -fig all -csv out/   # also write each table as CSV
+//
+// See EXPERIMENTS.md for the experiment inventory and recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"flat/internal/bench"
+)
+
+func main() {
+	var (
+		figs      = flag.String("fig", "all", "comma-separated experiment ids (e.g. 2,12,20) or 'all'")
+		quick     = flag.Bool("quick", false, "run at smoke-test scale (3 densities, 40 queries)")
+		verbose   = flag.Bool("v", false, "log progress to stderr")
+		csvDir    = flag.String("csv", "", "directory to also write each table as CSV")
+		queries   = flag.Int("queries", 0, "queries per micro-benchmark (default 200; 40 with -quick)")
+		densities = flag.String("densities", "", "comma-separated element counts (default 50000..450000)")
+		nodeCap   = flag.Int("nodecap", 0, "entries per node/page for all indexes (default 16; 0 keeps default)")
+		scale     = flag.Float64("otherscale", 0, "scale factor for the Section VIII data sets (default 1/200)")
+		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *densities != "" {
+		cfg.Densities = nil
+		for _, s := range strings.Split(*densities, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fatalf("bad density %q", s)
+			}
+			cfg.Densities = append(cfg.Densities, n)
+		}
+	}
+	if *nodeCap > 0 {
+		cfg.NodeCapacity = *nodeCap
+	}
+	if *scale > 0 {
+		cfg.OtherScale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	runner := bench.NewRunner(cfg)
+	if *verbose {
+		runner.Log = os.Stderr
+	}
+
+	var ids []string
+	if *figs == "all" {
+		ids = bench.Experiments()
+	} else {
+		for _, f := range strings.Split(*figs, ",") {
+			f = strings.TrimSpace(f)
+			if !strings.HasPrefix(f, "fig") {
+				f = "fig" + f
+			}
+			ids = append(ids, f)
+		}
+	}
+
+	for _, id := range ids {
+		tables, err := runner.Run(id)
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		for i, t := range tables {
+			t.Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fatalf("csv dir: %v", err)
+				}
+				name := fmt.Sprintf("%s_%d.csv", id, i)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fatalf("csv: %v", err)
+				}
+				t.CSV(f)
+				if err := f.Close(); err != nil {
+					fatalf("csv: %v", err)
+				}
+			}
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flatbench: "+format+"\n", args...)
+	os.Exit(1)
+}

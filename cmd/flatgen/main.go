@@ -1,0 +1,92 @@
+// Command flatgen generates the synthetic data sets of the reproduction
+// and writes them as binary element files (readable by cmd/flatindex).
+//
+// Usage:
+//
+//	flatgen -kind neuro   -n 450000 -out brain.flte
+//	flatgen -kind uniform -n 100000 -out uniform.flte
+//	flatgen -kind plummer -n 84000  -out darkmatter.flte
+//	flatgen -kind mesh    -n 865000 -out mesh.flte
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flat/internal/datagen"
+	"flat/internal/geom"
+	"flat/internal/neuro"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "neuro", "data set kind: neuro | uniform | plummer | mesh")
+		n    = flag.Int("n", 100000, "number of elements")
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("out", "", "output file (required)")
+		side = flag.Float64("side", 0, "world cube side (defaults per kind)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatalf("-out is required")
+	}
+	if *n <= 0 {
+		fatalf("-n must be positive")
+	}
+
+	var els []geom.Element
+	switch *kind {
+	case "neuro":
+		s := *side
+		if s == 0 {
+			s = 28.5
+		}
+		m := neuro.Generate(neuro.Config{
+			Seed:           *seed,
+			TargetElements: *n,
+			Volume:         geom.Box(geom.V(0, 0, 0), geom.V(s, s, s)),
+		})
+		els = m.Elements
+	case "uniform":
+		s := *side
+		if s == 0 {
+			s = 2000
+		}
+		els = datagen.UniformBoxes(datagen.UniformSpec{
+			N: *n, Seed: *seed,
+			World: geom.Box(geom.V(0, 0, 0), geom.V(s, s, s)),
+		})
+	case "plummer":
+		s := *side
+		if s == 0 {
+			s = 1000
+		}
+		els = datagen.Plummer(datagen.PlummerSpec{
+			N: *n, Seed: *seed,
+			World: geom.Box(geom.V(0, 0, 0), geom.V(s, s, s)),
+		})
+	case "mesh":
+		s := *side
+		if s == 0 {
+			s = 100
+		}
+		els = datagen.SurfaceMesh(datagen.MeshSpec{
+			N: *n, Seed: *seed,
+			World: geom.Box(geom.V(0, 0, 0), geom.V(s, s, s)),
+		})
+	default:
+		fatalf("unknown kind %q", *kind)
+	}
+
+	if err := datagen.SaveElements(*out, els); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	bounds := geom.ElementsMBR(els)
+	fmt.Printf("wrote %d elements to %s (bounds %v)\n", len(els), *out, bounds)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flatgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command flatindex builds a FLAT index over a binary element file
+// (produced by cmd/flatgen) and executes range queries against it,
+// reporting the paper's cost metric: disk page reads, broken down into
+// seed-tree, metadata and object pages.
+//
+// FLAT is a bulkloading index (the paper's models change rarely and in
+// batches), so flatindex builds and queries in one invocation; pass
+// -index to keep the page file on disk.
+//
+// Usage:
+//
+//	flatindex -data brain.flte -query "1,2,3,8,9,10"
+//	flatindex -data brain.flte -index brain.idx -stats
+//	flatindex -data brain.flte -point "5,5,5"
+//	flatindex -data brain.flte -compare -query "0,0,0,4,4,4"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flat"
+	"flat/internal/datagen"
+)
+
+func main() {
+	var (
+		data    = flag.String("data", "", "binary element file (required)")
+		index   = flag.String("index", "", "optional page-file path; empty keeps the index in memory")
+		query   = flag.String("query", "", "range query 'x1,y1,z1,x2,y2,z2'")
+		point   = flag.String("point", "", "point query 'x,y,z'")
+		stats   = flag.Bool("stats", false, "print index statistics")
+		compare = flag.Bool("compare", false, "also run the query on the three R-tree baselines")
+		limit   = flag.Int("limit", 10, "max result elements to print (0: count only)")
+	)
+	flag.Parse()
+	if *data == "" {
+		fatalf("-data is required")
+	}
+
+	els, err := datagen.LoadElements(*data)
+	if err != nil {
+		fatalf("load %s: %v", *data, err)
+	}
+	fmt.Printf("loaded %d elements from %s\n", len(els), *data)
+
+	// Reuse a previously built index file when present; otherwise build
+	// (and, with -index, persist for the next invocation).
+	var ix *flat.Index
+	if *index != "" {
+		if reopened, err := flat.Open(*index); err == nil {
+			fmt.Printf("reopened existing index %s\n", *index)
+			ix = reopened
+		}
+	}
+	if ix == nil {
+		cp := append([]flat.Element(nil), els...)
+		ix, err = flat.Build(cp, &flat.Options{Path: *index})
+		if err != nil {
+			fatalf("build: %v", err)
+		}
+	}
+	defer ix.Close()
+	fmt.Println(ix)
+
+	if *stats {
+		fmt.Printf("  seed height:   %d\n", ix.SeedHeight())
+		fmt.Printf("  partitions:    %d\n", ix.NumPartitions())
+		fmt.Printf("  avg neighbors: %.1f\n", ix.AvgNeighbors())
+		fmt.Printf("  bounds:        %v\n", ix.Bounds())
+	}
+
+	var q flat.MBR
+	haveQuery := false
+	switch {
+	case *query != "":
+		c, err := parseFloats(*query, 6)
+		if err != nil {
+			fatalf("bad -query: %v", err)
+		}
+		q = flat.Box(flat.V(c[0], c[1], c[2]), flat.V(c[3], c[4], c[5]))
+		haveQuery = true
+	case *point != "":
+		c, err := parseFloats(*point, 3)
+		if err != nil {
+			fatalf("bad -point: %v", err)
+		}
+		p := flat.V(c[0], c[1], c[2])
+		q = flat.Box(p, p)
+		haveQuery = true
+	}
+	if !haveQuery {
+		return
+	}
+
+	res, qs, err := ix.RangeQuery(q)
+	if err != nil {
+		fatalf("query: %v", err)
+	}
+	fmt.Printf("query %v: %d results\n", q, len(res))
+	fmt.Printf("  page reads: %d total (%d seed + %d metadata + %d object)\n",
+		qs.TotalReads, qs.SeedReads, qs.MetadataReads, qs.ObjectReads)
+	fmt.Printf("  crawl: %d records visited, %d object pages\n", qs.RecordsVisited, qs.PagesVisited)
+	for i, e := range res {
+		if i >= *limit {
+			fmt.Printf("  ... %d more\n", len(res)-*limit)
+			break
+		}
+		fmt.Printf("  element %d %v\n", e.ID, e.Box)
+	}
+
+	if *compare {
+		for _, s := range []flat.RTreeStrategy{flat.RTreeHilbert, flat.RTreeSTR, flat.RTreePR} {
+			cp := append([]flat.Element(nil), els...)
+			tr, err := flat.BuildRTree(cp, s, nil)
+			if err != nil {
+				fatalf("build %v: %v", s, err)
+			}
+			rres, rs, err := tr.RangeQuery(q)
+			if err != nil {
+				fatalf("query %v: %v", s, err)
+			}
+			fmt.Printf("%-14s: %d results, %d page reads (%d internal + %d leaf)\n",
+				s, len(rres), rs.InternalReads+rs.LeafReads, rs.InternalReads, rs.LeafReads)
+			tr.Close()
+		}
+	}
+}
+
+func parseFloats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated numbers, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flatindex: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,214 @@
+// Package flat is a Go implementation of FLAT, the two-phase spatial
+// index for dense three-dimensional data sets introduced in
+// "Accelerating Range Queries for Brain Simulations" (Tauheed, Biveinis,
+// Heinis, Schürmann, Markram, Ailamaki — ICDE 2012).
+//
+// FLAT targets range queries on dense, mostly-static spatial models —
+// brain-tissue circuits, surface meshes, n-body snapshots — where
+// classic R-trees degrade because bounding-box overlap grows with data
+// density. FLAT executes a range query in two phases:
+//
+//   - Seed: a small R-tree (the seed index) is walked along a single
+//     pruned path to find one disk page holding an element inside the
+//     query range. Cost: the height of the tree, regardless of density.
+//   - Crawl: a breadth-first search follows precomputed neighborhood
+//     pointers between pages, reading only pages whose bounds intersect
+//     the query. Cost: proportional to the result size.
+//
+// # Quick start
+//
+//	els := []flat.Element{
+//		{ID: 1, Box: flat.Box(flat.V(0, 0, 0), flat.V(1, 1, 1))},
+//		{ID: 2, Box: flat.Box(flat.V(2, 2, 2), flat.V(3, 3, 3))},
+//	}
+//	ix, err := flat.Build(els, nil)
+//	if err != nil { ... }
+//	hits, stats, err := ix.RangeQuery(flat.Box(flat.V(0, 0, 0), flat.V(2.5, 2.5, 2.5)))
+//
+// The index is bulkloaded: like the system in the paper, it does not
+// support incremental updates — rebuild when the data set changes
+// (Section IV: models change rarely and in batches, making reindexing
+// cheaper than maintaining update machinery).
+//
+// Page reads are the library's cost model, mirroring the paper's
+// evaluation: every query reports how many 4 KiB pages it touched, split
+// into seed-tree, metadata and object pages (QueryStats).
+package flat
+
+import (
+	"fmt"
+
+	"flat/internal/core"
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+// Re-exported geometry types. MBR coordinates are float64, as in the
+// paper's methodology.
+type (
+	// Vec3 is a point in 3D space.
+	Vec3 = geom.Vec3
+	// MBR is an axis-aligned minimum bounding rectangle.
+	MBR = geom.MBR
+	// Element is one indexed spatial element: an opaque 64-bit key plus
+	// the element's MBR.
+	Element = geom.Element
+	// Cylinder is a neuron-morphology segment (two end points, two radii).
+	Cylinder = geom.Cylinder
+	// Triangle is a surface-mesh triangle.
+	Triangle = geom.Triangle
+	// QueryStats reports the cost of one range query in disk page reads.
+	QueryStats = core.QueryStats
+)
+
+// V constructs a Vec3.
+func V(x, y, z float64) Vec3 { return geom.V(x, y, z) }
+
+// Box constructs an MBR from two opposite corners in any order.
+func Box(a, b Vec3) MBR { return geom.Box(a, b) }
+
+// CubeAt returns the axis-aligned cube centered at c with the given side.
+func CubeAt(c Vec3, side float64) MBR { return geom.CubeAt(c, side) }
+
+// PageSize is the disk page size used throughout the library (4 KiB).
+const PageSize = storage.PageSize
+
+// Options configures Build. The zero value (or nil) gives a memory-backed
+// index with full 4 KiB object pages partitioned over the data's bounds.
+type Options struct {
+	// World is the space that is partitioned into cells. It must contain
+	// the data; leave zero to use the data's bounding box. Supply the
+	// true model volume when the data does not fill its extremes (e.g. a
+	// tissue volume with margins) so that crawl connectivity spans it.
+	World MBR
+	// PageCapacity caps elements per object page (default: a full page,
+	// 73 elements).
+	PageCapacity int
+	// Path, when non-empty, stores the index in a page file on disk at
+	// the given path instead of in memory.
+	Path string
+	// BufferPages bounds the page cache (<= 0: unbounded). The cache is
+	// what makes repeated page touches within one query free; call
+	// Index.DropCache to simulate a cold start.
+	BufferPages int
+}
+
+// Index is a built FLAT index.
+type Index struct {
+	inner *core.Index
+	pool  *storage.BufferPool
+	pager storage.Pager
+}
+
+// Build bulkloads a FLAT index over els (reordering the slice in place).
+// See Options for storage and partitioning knobs.
+func Build(els []Element, opts *Options) (*Index, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	var pager storage.Pager
+	if o.Path != "" {
+		fp, err := storage.CreateFilePager(o.Path)
+		if err != nil {
+			return nil, err
+		}
+		pager = fp
+	} else {
+		pager = storage.NewMemPager()
+	}
+	pool := storage.NewBufferPool(pager, o.BufferPages)
+	inner, err := core.Build(pool, els, core.Options{
+		PageCapacity: o.PageCapacity,
+		World:        o.World,
+	})
+	if err != nil {
+		pager.Close()
+		return nil, err
+	}
+	if o.Path != "" {
+		// Persist the superblock so the index can be reopened with Open.
+		if err := inner.WriteSuper(); err != nil {
+			pager.Close()
+			return nil, err
+		}
+	}
+	// Hand back a cold index: construction leaves every page cached,
+	// which would make the first queries' read counts meaningless.
+	pool.Reset()
+	return &Index{inner: inner, pool: pool, pager: pager}, nil
+}
+
+// Open loads a previously built disk-backed index from its page file.
+// Queries on the reopened index behave identically to the freshly built
+// one; the build-time analysis accessors (AvgNeighbors) return zero, as
+// they are measurement aids not stored in the index.
+func Open(path string) (*Index, error) {
+	fp, err := storage.OpenFilePager(path)
+	if err != nil {
+		return nil, err
+	}
+	pool := storage.NewBufferPool(fp, 0)
+	inner, err := core.Open(pool)
+	if err != nil {
+		fp.Close()
+		return nil, err
+	}
+	return &Index{inner: inner, pool: pool, pager: fp}, nil
+}
+
+// RangeQuery returns every indexed element whose MBR intersects q,
+// together with the query's page-read statistics.
+func (ix *Index) RangeQuery(q MBR) ([]Element, QueryStats, error) {
+	return ix.inner.RangeQuery(q)
+}
+
+// CountQuery returns the number of elements intersecting q without
+// materializing them; the page access pattern is identical to RangeQuery.
+func (ix *Index) CountQuery(q MBR) (int, QueryStats, error) {
+	return ix.inner.CountQuery(q)
+}
+
+// PointQuery returns the elements whose MBR contains p.
+func (ix *Index) PointQuery(p Vec3) ([]Element, QueryStats, error) {
+	return ix.inner.RangeQuery(geom.PointBox(p))
+}
+
+// Len returns the number of indexed elements.
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// NumPartitions returns the number of partitions (object pages).
+func (ix *Index) NumPartitions() int { return ix.inner.NumPartitions() }
+
+// SeedHeight returns the seed tree height in levels (metadata level
+// inclusive); the seed phase of a query reads at most this many internal
+// pages.
+func (ix *Index) SeedHeight() int { return ix.inner.SeedHeight() }
+
+// SizeBytes returns the on-disk footprint of the index.
+func (ix *Index) SizeBytes() uint64 { return ix.inner.SizeBytes() }
+
+// Bounds returns the bounding box of the indexed data.
+func (ix *Index) Bounds() MBR { return ix.inner.Bounds() }
+
+// World returns the partitioned space.
+func (ix *Index) World() MBR { return ix.inner.World() }
+
+// AvgNeighbors returns the mean number of neighborhood pointers per
+// partition.
+func (ix *Index) AvgNeighbors() float64 { return ix.inner.AvgNeighbors() }
+
+// DropCache empties the page cache so the next query starts cold — the
+// equivalent of the paper's clearing of OS caches between measurements.
+func (ix *Index) DropCache() { ix.pool.DropFrames() }
+
+// String summarizes the index.
+func (ix *Index) String() string {
+	obj, meta, seed := ix.inner.PageCounts()
+	return fmt.Sprintf("flat.Index{elements: %d, partitions: %d, pages: %d object + %d metadata + %d seed, %.1f MiB}",
+		ix.Len(), ix.NumPartitions(), obj, meta, seed, float64(ix.SizeBytes())/(1<<20))
+}
+
+// Close releases the index's storage (closing the page file when the
+// index is disk-backed). The index must not be used afterwards.
+func (ix *Index) Close() error { return ix.pager.Close() }

@@ -1,0 +1,212 @@
+package flat
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func randomElements(r *rand.Rand, n int) []Element {
+	els := make([]Element, n)
+	for i := range els {
+		c := V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		els[i] = Element{ID: uint64(i), Box: CubeAt(c, 0.5+r.Float64())}
+	}
+	return els
+}
+
+func apiBrute(els []Element, q MBR) []uint64 {
+	var ids []uint64
+	for _, e := range els {
+		if e.Box.Intersects(q) {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	els := randomElements(r, 2000)
+	orig := make([]Element, len(els))
+	copy(orig, els)
+
+	ix, err := Build(els, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Len() != 2000 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	q := Box(V(20, 20, 20), V(50, 55, 60))
+	got, stats, err := ix.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := apiBrute(orig, q)
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	if stats.Results != len(got) || stats.TotalReads == 0 {
+		t.Errorf("stats implausible: %+v", stats)
+	}
+
+	n, _, err := ix.CountQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) {
+		t.Errorf("CountQuery = %d, want %d", n, len(want))
+	}
+
+	pt, _, err := ix.PointQuery(orig[7].Box.Center())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range pt {
+		if e.ID == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PointQuery missed the element at its own center")
+	}
+
+	if ix.SeedHeight() < 1 || ix.NumPartitions() < 10 || ix.SizeBytes() == 0 {
+		t.Errorf("accessors implausible: %s", ix)
+	}
+	if ix.AvgNeighbors() <= 0 {
+		t.Error("AvgNeighbors")
+	}
+	if !ix.World().Contains(ix.Bounds()) {
+		t.Error("world/bounds")
+	}
+}
+
+func TestPublicAPIDiskBacked(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	els := randomElements(r, 500)
+	orig := make([]Element, len(els))
+	copy(orig, els)
+	path := filepath.Join(t.TempDir(), "index.flat")
+	ix, err := Build(els, &Options{Path: path, BufferPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := CubeAt(V(50, 50, 50), 30)
+	got, _, err := ix.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(apiBrute(orig, q)) {
+		t.Error("disk-backed query mismatch")
+	}
+	ix.DropCache()
+	got2, stats, err := ix.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(got) {
+		t.Error("cold query mismatch")
+	}
+	if stats.TotalReads == 0 {
+		t.Error("cold query should read pages")
+	}
+}
+
+func TestPublicRTree(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	els := randomElements(r, 3000)
+	orig := make([]Element, len(els))
+	copy(orig, els)
+	for _, s := range []RTreeStrategy{RTreeSTR, RTreeHilbert, RTreePR} {
+		cp := make([]Element, len(els))
+		copy(cp, els)
+		tr, err := BuildRTree(cp, s, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		q := CubeAt(V(40, 60, 50), 25)
+		got, stats, err := tr.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(apiBrute(orig, q)) {
+			t.Errorf("%v: result mismatch", s)
+		}
+		if stats.LeafReads == 0 || stats.InternalReads == 0 {
+			t.Errorf("%v: stats implausible %+v", s, stats)
+		}
+		if tr.Height() < 2 || tr.Len() != 3000 || tr.SizeBytes() == 0 {
+			t.Errorf("%v: accessors implausible", s)
+		}
+		tr.DropCache()
+		if _, _, err := tr.PointQuery(orig[0].Box.Center()); err != nil {
+			t.Fatal(err)
+		}
+		tr.Close()
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if RTreeSTR.String() != "STR R-Tree" || RTreePR.String() != "PR-Tree" {
+		t.Error("strategy names")
+	}
+}
+
+func TestBuildThenOpen(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	els := randomElements(r, 800)
+	orig := make([]Element, len(els))
+	copy(orig, els)
+	path := filepath.Join(t.TempDir(), "persist.flat")
+
+	ix, err := Build(els, &Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := CubeAt(V(45, 55, 50), 28)
+	want, _, err := ix.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(orig) {
+		t.Fatalf("reopened Len = %d", re.Len())
+	}
+	got, stats, err := re.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened query: %d results, want %d", len(got), len(want))
+	}
+	if stats.TotalReads == 0 || stats.ObjectReads == 0 {
+		t.Errorf("reopened stats implausible: %+v", stats)
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.flat")); err == nil {
+		t.Error("Open of missing file should fail")
+	}
+}
+
+func TestBuildEmptyInput(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Error("empty Build should fail")
+	}
+	if _, err := BuildRTree(nil, RTreeSTR, nil); err == nil {
+		t.Error("empty BuildRTree should fail")
+	}
+}

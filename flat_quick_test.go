@@ -1,0 +1,87 @@
+package flat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// querySpec is a quick-generated test case: a small random data set and
+// a random query box.
+type querySpec struct {
+	Seed  int64
+	N     int
+	QSeed int64
+}
+
+// Generate implements quick.Generator with sane ranges.
+func (querySpec) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(querySpec{
+		Seed:  r.Int63(),
+		N:     50 + r.Intn(400),
+		QSeed: r.Int63(),
+	})
+}
+
+// TestQuickRangeQueryMatchesScan is the library's top-level correctness
+// property: for arbitrary data sets and arbitrary query boxes, the FLAT
+// index returns exactly the elements a linear scan returns.
+func TestQuickRangeQueryMatchesScan(t *testing.T) {
+	prop := func(spec querySpec) bool {
+		r := rand.New(rand.NewSource(spec.Seed))
+		els := make([]Element, spec.N)
+		for i := range els {
+			c := V(r.Float64()*50, r.Float64()*50, r.Float64()*50)
+			els[i] = Element{ID: uint64(i), Box: CubeAt(c, 0.2+r.Float64()*3)}
+		}
+		orig := make([]Element, len(els))
+		copy(orig, els)
+
+		ix, err := Build(els, nil)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		defer ix.Close()
+
+		qr := rand.New(rand.NewSource(spec.QSeed))
+		for k := 0; k < 5; k++ {
+			q := Box(
+				V(qr.Float64()*60-5, qr.Float64()*60-5, qr.Float64()*60-5),
+				V(qr.Float64()*60-5, qr.Float64()*60-5, qr.Float64()*60-5),
+			)
+			got, _, err := ix.RangeQuery(q)
+			if err != nil {
+				t.Logf("query: %v", err)
+				return false
+			}
+			want := 0
+			for _, e := range orig {
+				if e.Box.Intersects(q) {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Logf("seed=%d q=%v: got %d, want %d", spec.Seed, q, len(got), want)
+				return false
+			}
+			seen := map[uint64]bool{}
+			for _, e := range got {
+				if !e.Box.Intersects(q) {
+					t.Logf("non-intersecting result %d", e.ID)
+					return false
+				}
+				if seen[e.ID] {
+					t.Logf("duplicate result %d", e.ID)
+					return false
+				}
+				seen[e.ID] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"flat/internal/datagen"
+	"flat/internal/geom"
+	"flat/internal/rtree"
+	"flat/internal/storage"
+)
+
+// fig2 reproduces Figure 2: "Point query performance on R-Tree
+// variants" — average page reads per point query for the three
+// bulkloaded R-trees across the density sweep. In an overlap-free tree
+// this would equal the tree height; the excess is pure overlap.
+func (r *Runner) fig2() ([]*Table, error) {
+	t := &Table{
+		ID:      "fig2",
+		Title:   "Point query page reads vs density (R-tree overlap)",
+		Columns: []string{"density", "height", "Hilbert R-Tree", "STR R-Tree", "PR-Tree"},
+		Note:    "paper: reads grow steeply with density for all variants, far above tree height",
+	}
+	for _, n := range r.Cfg.Densities {
+		s, err := r.set(n)
+		if err != nil {
+			return nil, err
+		}
+		points := datagen.Points(r.Cfg.Queries, s.world, r.Cfg.Seed+200)
+		row := []string{fi(n), fi(s.trees[rtree.PR].Height())}
+		for _, strat := range strategies {
+			tree, pool := s.trees[strat], s.treePools[strat]
+			pool.Reset()
+			var reads uint64
+			for _, p := range points {
+				pool.DropFrames()
+				if _, err := tree.CountQuery(geom.PointBox(p)); err != nil {
+					return nil, err
+				}
+			}
+			reads = pool.Stats().TotalReads()
+			row = append(row, f1(float64(reads)/float64(len(points))))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// fig3 reproduces Figure 3: page reads per result element for the
+// structural-neighborhood queries on the Priority R-tree.
+func (r *Runner) fig3() ([]*Table, error) {
+	rows, err := r.useCase(r.Cfg.SNFraction)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig3",
+		Title:   "SN benchmark: page reads per result element on the PR-Tree",
+		Columns: []string{"density", "reads/result", "results"},
+		Note:    "paper: 1.73 -> 2.33 growing with density",
+	}
+	for _, row := range rows {
+		m := row.RTrees[rtree.PR]
+		t.AddRow(fi(row.Density), f2(m.PerResult()), fu(m.Results))
+	}
+	return []*Table{t}, nil
+}
+
+// fig4 reproduces Figure 4: total data retrieved (vs the result-set
+// size) for large-spatial-subvolume queries on the three R-trees.
+func (r *Runner) fig4() ([]*Table, error) {
+	rows, err := r.useCase(r.Cfg.LSSFraction)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:    "fig4",
+		Title: "LSS benchmark: result size vs data retrieved by R-tree variants (MB)",
+		Columns: []string{"density", "result MB",
+			"Hilbert MB", "STR MB", "PR MB", "PR ratio"},
+		Note: "paper: best R-tree retrieves 3-4x the result size, growing with density",
+	}
+	for _, row := range rows {
+		// The result size in bytes: elements at the paper's on-page
+		// footprint.
+		resultMB := float64(row.RTrees[rtree.PR].Results) * storage.ElementSize / (1 << 20)
+		cells := []string{fi(row.Density), f2(resultMB)}
+		for _, strat := range strategies {
+			cells = append(cells, f2(float64(row.RTrees[strat].Stats.BytesRead())/(1<<20)))
+		}
+		prMB := float64(row.RTrees[rtree.PR].Stats.BytesRead()) / (1 << 20)
+		ratio := 0.0
+		if resultMB > 0 {
+			ratio = prMB / resultMB
+		}
+		cells = append(cells, f2(ratio))
+		t.AddRow(cells...)
+	}
+	return []*Table{t}, nil
+}

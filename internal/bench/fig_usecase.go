@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+
+	"flat/internal/rtree"
+	"flat/internal/storage"
+)
+
+// The SN figures (12-15) and LSS figures (16-19) share one measurement
+// run each; the Runner caches it.
+
+func (r *Runner) benchReads(id, name string, fraction float64, note string) (*Table, error) {
+	rows, err := r.useCase(fraction)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s benchmark: total page reads", name),
+		Columns: []string{"density", "FLAT", "PR-Tree", "STR R-Tree", "Hilbert R-Tree"},
+		Note:    note,
+	}
+	for _, row := range rows {
+		t.AddRow(fi(row.Density),
+			fu(row.FLAT.Stats.TotalReads()),
+			fu(row.RTrees[rtree.PR].Stats.TotalReads()),
+			fu(row.RTrees[rtree.STR].Stats.TotalReads()),
+			fu(row.RTrees[rtree.Hilbert].Stats.TotalReads()),
+		)
+	}
+	return t, nil
+}
+
+func (r *Runner) benchTime(id, name string, fraction float64, note string) (*Table, error) {
+	rows, err := r.useCase(fraction)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s benchmark: execution time (ms)", name),
+		Columns: []string{"density", "FLAT", "PR-Tree", "STR R-Tree", "Hilbert R-Tree"},
+		Note:    note,
+	}
+	for _, row := range rows {
+		t.AddRow(fi(row.Density),
+			ms(row.FLAT.Elapsed),
+			ms(row.RTrees[rtree.PR].Elapsed),
+			ms(row.RTrees[rtree.STR].Elapsed),
+			ms(row.RTrees[rtree.Hilbert].Elapsed),
+		)
+	}
+	return t, nil
+}
+
+func (r *Runner) benchPerResult(id, name string, fraction float64, note string) (*Table, error) {
+	rows, err := r.useCase(fraction)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s benchmark: page reads per result element", name),
+		Columns: []string{"density", "results", "FLAT", "PR-Tree", "STR R-Tree", "Hilbert R-Tree"},
+		Note:    note,
+	}
+	for _, row := range rows {
+		t.AddRow(fi(row.Density),
+			fu(row.FLAT.Results),
+			f3(row.FLAT.PerResult()),
+			f3(row.RTrees[rtree.PR].PerResult()),
+			f3(row.RTrees[rtree.STR].PerResult()),
+			f3(row.RTrees[rtree.Hilbert].PerResult()),
+		)
+	}
+	return t, nil
+}
+
+// benchBreakdown renders the Figure 14/18 panels: data retrieved by page
+// category for FLAT (seed tree / metadata / object pages) and for the
+// PR-tree (non-leaf / leaf pages).
+func (r *Runner) benchBreakdown(id, name string, fraction float64) ([]*Table, error) {
+	rows, err := r.useCase(fraction)
+	if err != nil {
+		return nil, err
+	}
+	const mb = float64(1 << 20)
+	left := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s benchmark: FLAT data retrieved breakdown (MB)", name),
+		Columns: []string{"density", "seed tree", "metadata", "object", "total"},
+		Note:    "paper: seed share constant; metadata+object grow with the result size",
+	}
+	right := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s benchmark: PR-Tree data retrieved breakdown (MB)", name),
+		Columns: []string{"density", "non-leaf", "leaf", "total", "nonleaf/leaf"},
+		Note:    "paper: non-leaf/leaf ratio grows with density (overlap)",
+	}
+	for _, row := range rows {
+		fs := row.FLAT.Stats
+		left.AddRow(fi(row.Density),
+			f3(float64(fs.BytesReadBy(storage.CatSeedInternal))/mb),
+			f3(float64(fs.BytesReadBy(storage.CatMetadata))/mb),
+			f3(float64(fs.BytesReadBy(storage.CatObject))/mb),
+			f3(float64(fs.BytesRead())/mb),
+		)
+		ps := row.RTrees[rtree.PR].Stats
+		nonleaf := float64(ps.BytesReadBy(storage.CatRTreeInternal))
+		leaf := float64(ps.BytesReadBy(storage.CatRTreeLeaf))
+		ratio := 0.0
+		if leaf > 0 {
+			ratio = nonleaf / leaf
+		}
+		right.AddRow(fi(row.Density),
+			f3(nonleaf/mb), f3(leaf/mb), f3((nonleaf+leaf)/mb), f2(ratio))
+	}
+	return []*Table{left, right}, nil
+}
+
+func (r *Runner) fig12() ([]*Table, error) {
+	t, err := r.benchReads("fig12", "SN", r.Cfg.SNFraction,
+		"paper: FLAT lowest; PR 8x FLAT at the densest point; Hilbert worst")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func (r *Runner) fig13() ([]*Table, error) {
+	t, err := r.benchTime("fig13", "SN", r.Cfg.SNFraction,
+		"paper: time tracks page reads (I/O bound); FLAT lowest and linear")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func (r *Runner) fig14() ([]*Table, error) {
+	return r.benchBreakdown("fig14", "SN", r.Cfg.SNFraction)
+}
+
+func (r *Runner) fig15() ([]*Table, error) {
+	t, err := r.benchPerResult("fig15", "SN", r.Cfg.SNFraction,
+		"paper: FLAT per-result cost falls with density; R-trees rise")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func (r *Runner) fig16() ([]*Table, error) {
+	t, err := r.benchReads("fig16", "LSS", r.Cfg.LSSFraction,
+		"paper: FLAT lowest; gap smaller than SN (overlap amortized on big queries)")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func (r *Runner) fig17() ([]*Table, error) {
+	t, err := r.benchTime("fig17", "LSS", r.Cfg.LSSFraction,
+		"paper: time tracks page reads; FLAT 2-6x faster than best R-tree")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}
+
+func (r *Runner) fig18() ([]*Table, error) {
+	return r.benchBreakdown("fig18", "LSS", r.Cfg.LSSFraction)
+}
+
+func (r *Runner) fig19() ([]*Table, error) {
+	t, err := r.benchPerResult("fig19", "LSS", r.Cfg.LSSFraction,
+		"paper: FLAT per-result reads fall with density; PR-Tree's grow")
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t}, nil
+}

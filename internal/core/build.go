@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"flat/internal/geom"
+	"flat/internal/rtree"
+	"flat/internal/storage"
+	"flat/internal/str"
+)
+
+// ErrEmpty is returned when building an index over zero elements.
+var ErrEmpty = errors.New("core: cannot build an empty FLAT index")
+
+// Build bulkloads a FLAT index over els, implementing the paper's
+// Algorithm 1:
+//
+//  1. Partition the elements with an STR pass into page-sized groups and
+//     derive each group's page MBR and (stretched) partition MBR.
+//  2. Insert all partition MBRs into a temporary R-tree and, for every
+//     partition, retrieve the intersecting partitions — its neighbors.
+//  3. Write the object pages, pack the metadata records into seed-tree
+//     leaf pages, and build the seed tree's internal levels above them.
+//
+// els is reordered in place by the STR pass. The supplied buffer pool
+// receives all of the index's pages; queries account their page reads
+// against it.
+func Build(pool *storage.BufferPool, els []geom.Element, opts Options) (*Index, error) {
+	if len(els) == 0 {
+		return nil, ErrEmpty
+	}
+	capacity := opts.PageCapacity
+	if capacity == 0 {
+		capacity = rtree.NodeCapacity
+	}
+	if capacity < 1 || capacity > rtree.NodeCapacity {
+		return nil, fmt.Errorf("core: page capacity %d out of range [1,%d]", capacity, rtree.NodeCapacity)
+	}
+	bounds := geom.ElementsMBR(els)
+	world := opts.World
+	if world.Empty() || world == (geom.MBR{}) {
+		world = bounds
+	} else {
+		// The partition cells must cover every element; grow the world to
+		// the data bounds if the caller's box is too small.
+		world = world.Union(bounds)
+	}
+
+	if opts.SeedFanout < 0 || opts.SeedFanout > rtree.NodeCapacity {
+		return nil, fmt.Errorf("core: seed fanout %d out of range [0,%d]", opts.SeedFanout, rtree.NodeCapacity)
+	}
+	ix := &Index{pool: pool, world: world, bounds: bounds, count: len(els), seedFanout: opts.SeedFanout, noMetaTiling: opts.NoMetaTiling}
+	totalStart := time.Now()
+
+	// Phase 1: STR partitioning (paper: "Partitioning" in Figure 10).
+	t0 := time.Now()
+	parts := str.PartitionElements(els, capacity, world)
+	ix.build.PartitionTime = time.Since(t0)
+	ix.build.Partitions = len(parts)
+
+	// Phase 2: neighborhood computation via a temporary R-tree (paper:
+	// "Finding Neighbors" in Figure 10). The temporary tree lives in its
+	// own memory-backed pool so it neither pollutes the index nor its
+	// read counters, and is discarded afterwards.
+	t1 := time.Now()
+	neighborIdx, links, err := computeNeighbors(parts, world)
+	if err != nil {
+		return nil, err
+	}
+	ix.build.NeighborTime = time.Since(t1)
+	ix.build.NeighborLinks = links
+
+	// Phase 3: write object pages, metadata pages and the seed tree.
+	t2 := time.Now()
+	if err := ix.write(parts, neighborIdx); err != nil {
+		return nil, err
+	}
+	ix.build.WriteTime = time.Since(t2)
+	ix.build.TotalTime = time.Since(totalStart)
+
+	// Retain the per-partition analysis data (Figures 20 and 21).
+	ix.neighborCounts = make([]int, len(parts))
+	ix.cellVolumes = make([]float64, len(parts))
+	for i := range parts {
+		ix.neighborCounts[i] = len(neighborIdx[i])
+		ix.cellVolumes[i] = parts[i].PartitionMBR.Volume()
+	}
+	return ix, nil
+}
+
+// computeNeighbors builds the temporary R-tree over the partition cells
+// and executes one range query per partition with its (stretched)
+// partition MBR, as Algorithm 1 prescribes. Partitions i and k are
+// neighbors when partitionMBR(i) intersects cell(k) or vice versa — the
+// paper's "partition adjacent to or overlapping A" relation. Querying
+// against the unstretched cells (rather than stretched-vs-stretched
+// boxes) keeps neighbor lists tight while preserving the crawl's
+// completeness guarantee: the breadth-first search only ever needs to
+// cross from a partition's MBR into the space-tiling cell that covers
+// the next piece of the query region, and the relation is symmetrized so
+// both crossing directions exist.
+//
+// It returns, per partition, the indices of its neighbors (self
+// excluded) and the total number of directed links.
+func computeNeighbors(parts []str.Partition, world geom.MBR) ([][]int, int, error) {
+	tmpPool := storage.NewBufferPool(storage.NewMemPager(), 0)
+	tmpEls := make([]geom.Element, len(parts))
+	for i, p := range parts {
+		tmpEls[i] = geom.Element{ID: uint64(i), Box: p.Cell}
+	}
+	tmpTree, err := rtree.Build(tmpPool, tmpEls, rtree.STR, world, rtree.Config{})
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: temporary neighbor tree: %w", err)
+	}
+	sets := make([]map[int]bool, len(parts))
+	for i := range sets {
+		sets[i] = make(map[int]bool)
+	}
+	for i := range parts {
+		res, err := tmpTree.RangeQuery(parts[i].PartitionMBR)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, r := range res {
+			k := int(r.ID)
+			if k == i {
+				continue
+			}
+			sets[i][k] = true
+			sets[k][i] = true // symmetrize
+		}
+	}
+	neighbors := make([][]int, len(parts))
+	links := 0
+	for i, s := range sets {
+		neighbors[i] = make([]int, 0, len(s))
+		for k := range s {
+			neighbors[i] = append(neighbors[i], k)
+		}
+		sort.Ints(neighbors[i])
+		links += len(neighbors[i])
+	}
+	return neighbors, links, nil
+}
+
+// write materializes the three data structures on the buffer pool.
+func (ix *Index) write(parts []str.Partition, neighborIdx [][]int) error {
+	buf := make([]byte, storage.PageSize)
+
+	// Object pages, in STR order (preserves spatial locality on disk).
+	objIDs := make([]storage.PageID, len(parts))
+	entries := make([]rtree.NodeEntry, 0, rtree.NodeCapacity)
+	for i, p := range parts {
+		entries = entries[:0]
+		for _, e := range p.Elements {
+			entries = append(entries, rtree.NodeEntry{Box: e.Box, Ref: e.ID})
+		}
+		id, err := ix.pool.Alloc(storage.CatObject)
+		if err != nil {
+			return err
+		}
+		rtree.EncodeNode(buf, true, entries)
+		if err := ix.pool.Write(id, buf); err != nil {
+			return err
+		}
+		objIDs[i] = id
+	}
+	ix.objStart = objIDs[0]
+	ix.objectPages = len(parts)
+
+	// Metadata records, then their page assignment. The paper stores the
+	// records in the leaves of the seed tree (an R-tree over the page
+	// MBRs), so spatially close records share a leaf: we reproduce that
+	// by STR-tiling the records in 3D on their page-MBR centers before
+	// packing, which is what keeps the crawl's record "shell" on few
+	// metadata pages. A neighbor list too long for one record continues
+	// in chained overflow records placed right after their primary.
+	// Neighbor refs are resolved after the page assignment fixes every
+	// record's (page, slot).
+	primaries := make([]*metaRecord, len(parts))
+	for i, p := range parts {
+		m := &metaRecord{
+			PageMBR:      p.PageMBR,
+			PartitionMBR: p.PartitionMBR,
+			ObjectPage:   objIDs[i],
+			Overflow:     noRef,
+			nbIdx:        neighborIdx[i],
+			partIdx:      i,
+		}
+		m.Neighbors = make([]RecordRef, len(m.nbIdx))
+		if len(m.nbIdx) > maxInlineNeighbors {
+			rest := m.nbIdx[maxInlineNeighbors:]
+			m.nbIdx = m.nbIdx[:maxInlineNeighbors]
+			m.Neighbors = m.Neighbors[:maxInlineNeighbors]
+			prev := m
+			for len(rest) > 0 {
+				n := len(rest)
+				if n > maxInlineNeighbors {
+					n = maxInlineNeighbors
+				}
+				ov := &metaRecord{
+					PageMBR:      geom.EmptyMBR(),
+					PartitionMBR: geom.EmptyMBR(),
+					ObjectPage:   storage.InvalidPage,
+					Overflow:     noRef,
+					nbIdx:        rest[:n],
+					Neighbors:    make([]RecordRef, n),
+				}
+				rest = rest[n:]
+				prev.next = ov
+				prev = ov
+				ix.build.OverflowRecords++
+			}
+		}
+		primaries[i] = m
+	}
+	if !ix.noMetaTiling {
+		tileMetaRecords(primaries)
+	}
+	// Final on-disk record order: each primary followed by its chain.
+	records := make([]*metaRecord, 0, len(primaries)+ix.build.OverflowRecords)
+	for _, m := range primaries {
+		for r := m; r != nil; r = r.next {
+			records = append(records, r)
+		}
+	}
+	groups, err := packMetaPages(records)
+	if err != nil {
+		return err
+	}
+	metaIDs := make([]storage.PageID, len(groups))
+	for g, span := range groups {
+		id, err := ix.pool.Alloc(storage.CatMetadata)
+		if err != nil {
+			return err
+		}
+		metaIDs[g] = id
+		for i := span[0]; i < span[1]; i++ {
+			records[i].selfRef = makeRef(id, i-span[0])
+		}
+	}
+	// refs maps a partition index to its primary record's location
+	// (tiling permuted the primaries slice, so use the stored index).
+	refs := make([]RecordRef, len(parts))
+	for _, m := range primaries {
+		refs[m.partIdx] = m.selfRef
+	}
+	for _, m := range records {
+		for j, n := range m.nbIdx {
+			m.Neighbors[j] = refs[n]
+		}
+		if m.next != nil {
+			m.Overflow = m.next.selfRef
+		}
+	}
+	for g, span := range groups {
+		encodeMetaPage(buf, records[span[0]:span[1]])
+		if err := ix.pool.Write(metaIDs[g], buf); err != nil {
+			return err
+		}
+	}
+	ix.metadataPages = len(groups)
+
+	// Seed tree: internal levels above the metadata pages. Each leaf-
+	// level entry indexes a metadata page by the union of the page MBRs
+	// of the records it holds (the paper indexes "each record R with R's
+	// page MBR as key"; records on the same leaf share one subtree
+	// entry).
+	seedEntries := make([]rtree.NodeEntry, len(groups))
+	for g, span := range groups {
+		box := geom.EmptyMBR()
+		for i := span[0]; i < span[1]; i++ {
+			box = box.Union(records[i].PageMBR)
+		}
+		if box.Empty() {
+			// The page holds only overflow records (a very long chain);
+			// key it under its owning primary's box so the seed tree
+			// stays well-formed.
+			for i := span[0] - 1; i >= 0; i-- {
+				if records[i].ObjectPage != storage.InvalidPage {
+					box = records[i].PageMBR
+					break
+				}
+			}
+		}
+		seedEntries[g] = rtree.NodeEntry{Box: box, Ref: uint64(metaIDs[g])}
+	}
+	root, height, internalPages, err := rtree.BuildAbove(ix.pool, seedEntries, rtree.Config{
+		InternalCapacity: ix.seedFanout,
+		InternalCat:      storage.CatSeedInternal,
+	})
+	if err != nil {
+		return err
+	}
+	ix.seedRoot = root
+	ix.seedHeight = height
+	ix.seedInternal = internalPages
+	return nil
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+func worldBox() geom.MBR { return geom.Box(geom.V(0, 0, 0), geom.V(100, 100, 100)) }
+
+func randomElements(r *rand.Rand, n int, world geom.MBR) []geom.Element {
+	els := make([]geom.Element, n)
+	size := world.Size()
+	for i := range els {
+		c := geom.V(
+			world.Min.X+r.Float64()*size.X,
+			world.Min.Y+r.Float64()*size.Y,
+			world.Min.Z+r.Float64()*size.Z,
+		)
+		h := geom.V(r.Float64(), r.Float64(), r.Float64())
+		els[i] = geom.Element{ID: uint64(i), Box: geom.Box(c.Sub(h), c.Add(h))}
+	}
+	return els
+}
+
+func clusteredElements(r *rand.Rand, perCluster int, centers []geom.Vec3, spread float64) []geom.Element {
+	var els []geom.Element
+	id := uint64(0)
+	for _, c := range centers {
+		for i := 0; i < perCluster; i++ {
+			p := c.Add(geom.V(r.NormFloat64()*spread, r.NormFloat64()*spread, r.NormFloat64()*spread))
+			els = append(els, geom.Element{ID: id, Box: geom.CubeAt(p, 0.5)})
+			id++
+		}
+	}
+	return els
+}
+
+func buildIndex(t *testing.T, els []geom.Element, opts Options) (*Index, *storage.BufferPool) {
+	t.Helper()
+	pool := storage.NewBufferPool(storage.NewMemPager(), 0)
+	cp := make([]geom.Element, len(els))
+	copy(cp, els)
+	ix, err := Build(pool, cp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, pool
+}
+
+func bruteForce(els []geom.Element, q geom.MBR) []uint64 {
+	var ids []uint64
+	for _, e := range els {
+		if e.Box.Intersects(q) {
+			ids = append(ids, e.ID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func sortedIDs(els []geom.Element) []uint64 {
+	ids := make([]uint64, len(els))
+	for i, e := range els {
+		ids[i] = e.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for _, n := range []int{50, 500, 5000} {
+		els := randomElements(r, n, worldBox())
+		ix, _ := buildIndex(t, els, Options{World: worldBox()})
+		if ix.Len() != n {
+			t.Fatalf("Len = %d", ix.Len())
+		}
+		for i := 0; i < 60; i++ {
+			c := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+			q := geom.CubeAt(c, 1+r.Float64()*25)
+			got, st, err := ix.RangeQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForce(els, q)
+			if !equalIDs(sortedIDs(got), want) {
+				t.Fatalf("n=%d query %v: got %d, want %d elements", n, q, len(got), len(want))
+			}
+			if st.Results != len(got) {
+				t.Fatalf("stats.Results = %d, want %d", st.Results, len(got))
+			}
+		}
+	}
+}
+
+func TestRangeQueryOnClusteredData(t *testing.T) {
+	// Concave data with big holes: the crawl must cross empty regions via
+	// the space-tiling partition cells (the paper's Figure 8 situation).
+	r := rand.New(rand.NewSource(109))
+	els := clusteredElements(r, 800,
+		[]geom.Vec3{geom.V(15, 15, 15), geom.V(85, 85, 85), geom.V(15, 85, 50)}, 6)
+	ix, _ := buildIndex(t, els, Options{World: worldBox()})
+
+	queries := []geom.MBR{
+		// Spans two clusters and the empty diagonal between them.
+		geom.Box(geom.V(5, 5, 5), geom.V(95, 95, 95)),
+		// Entirely inside the empty center.
+		geom.CubeAt(geom.V(50, 20, 20), 4),
+		// Clips one cluster's edge.
+		geom.CubeAt(geom.V(15, 15, 15), 10),
+	}
+	for _, q := range queries {
+		got, _, err := ix.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(els, q)
+		if !equalIDs(sortedIDs(got), want) {
+			t.Fatalf("query %v: got %d, want %d", q, len(got), len(want))
+		}
+	}
+}
+
+func TestEmptyQueryRegion(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	els := randomElements(r, 1000, worldBox())
+	ix, pool := buildIndex(t, els, Options{World: worldBox()})
+	pool.Reset()
+	got, st, err := ix.RangeQuery(geom.CubeAt(geom.V(500, 500, 500), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || st.Results != 0 {
+		t.Fatalf("expected empty result, got %d", len(got))
+	}
+	// An out-of-world query should not read object pages at all: the seed
+	// descent prunes at the root.
+	if st.ObjectReads != 0 {
+		t.Errorf("empty query read %d object pages", st.ObjectReads)
+	}
+}
+
+func TestQueryCoveringEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(127))
+	els := randomElements(r, 2000, worldBox())
+	ix, _ := buildIndex(t, els, Options{World: worldBox()})
+	got, st, err := ix.RangeQuery(worldBox().Expand(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2000 {
+		t.Fatalf("full query returned %d of 2000", len(got))
+	}
+	if st.PagesVisited != ix.NumPartitions() {
+		t.Errorf("full query visited %d pages of %d partitions", st.PagesVisited, ix.NumPartitions())
+	}
+}
+
+func TestCountQueryAgrees(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	els := randomElements(r, 1500, worldBox())
+	ix, _ := buildIndex(t, els, Options{World: worldBox()})
+	q := geom.CubeAt(geom.V(40, 60, 50), 22)
+	n, _, err := ix.CountQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(bruteForce(els, q)); n != want {
+		t.Errorf("CountQuery = %d, want %d", n, want)
+	}
+}
+
+// TestSeedStartInvariance verifies the paper's claim that the choice of
+// the start page affects neither accuracy nor efficiency: crawling from
+// every record that has a result element on its page yields the same
+// result set.
+func TestSeedStartInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(137))
+	els := randomElements(r, 2000, worldBox())
+	ix, _ := buildIndex(t, els, Options{World: worldBox()})
+	q := geom.CubeAt(geom.V(50, 50, 50), 18)
+	want := bruteForce(els, q)
+	if len(want) == 0 {
+		t.Fatal("test query must be non-empty")
+	}
+
+	var starts []RecordRef
+	err := ix.Records(func(ref RecordRef, pageMBR, partMBR geom.MBR, obj storage.PageID, nb []RecordRef) error {
+		if pageMBR.Intersects(q) {
+			starts = append(starts, ref)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(starts) < 2 {
+		t.Fatalf("want multiple candidate starts, got %d", len(starts))
+	}
+	for _, s := range starts {
+		got, err := ix.CrawlFrom(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(got), want) {
+			t.Fatalf("crawl from %v: got %d, want %d elements", s, len(got), len(want))
+		}
+	}
+}
+
+// TestIndexInvariants checks the structural properties of Section V on a
+// built index: partition MBR contains page MBR, neighbor links are
+// symmetric, every neighbor ref resolves, and object pages are unique.
+func TestIndexInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(139))
+	els := randomElements(r, 4000, worldBox())
+	ix, _ := buildIndex(t, els, Options{World: worldBox()})
+
+	type recInfo struct {
+		partMBR geom.MBR
+		nb      map[RecordRef]bool
+	}
+	recs := map[RecordRef]*recInfo{}
+	objPages := map[storage.PageID]bool{}
+	err := ix.Records(func(ref RecordRef, pageMBR, partMBR geom.MBR, obj storage.PageID, nb []RecordRef) error {
+		if !partMBR.Contains(pageMBR) {
+			t.Fatalf("record %v: partition MBR does not contain page MBR", ref)
+		}
+		if objPages[obj] {
+			t.Fatalf("object page %d referenced twice", obj)
+		}
+		objPages[obj] = true
+		info := &recInfo{partMBR: partMBR, nb: map[RecordRef]bool{}}
+		for _, n := range nb {
+			if n == ref {
+				t.Fatalf("record %v lists itself as neighbor", ref)
+			}
+			if info.nb[n] {
+				t.Fatalf("record %v lists neighbor %v twice", ref, n)
+			}
+			info.nb[n] = true
+		}
+		recs[ref] = info
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != ix.NumPartitions() {
+		t.Fatalf("enumerated %d records, want %d", len(recs), ix.NumPartitions())
+	}
+	// Symmetry + intersection consistency.
+	for ref, info := range recs {
+		for n := range info.nb {
+			other, ok := recs[n]
+			if !ok {
+				t.Fatalf("record %v has dangling neighbor %v", ref, n)
+			}
+			if !other.nb[ref] {
+				t.Fatalf("neighbor link %v -> %v not symmetric", ref, n)
+			}
+			if !info.partMBR.Intersects(other.partMBR) {
+				t.Fatalf("neighbors %v and %v do not intersect", ref, n)
+			}
+		}
+	}
+}
+
+func TestQueryStatsBreakdownConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(149))
+	els := randomElements(r, 3000, worldBox())
+	ix, pool := buildIndex(t, els, Options{World: worldBox()})
+	pool.Reset()
+	_, st, err := ix.RangeQuery(geom.CubeAt(geom.V(30, 30, 30), 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalReads != st.SeedReads+st.MetadataReads+st.ObjectReads {
+		t.Errorf("reads breakdown inconsistent: %+v", st)
+	}
+	if st.ObjectReads == 0 || st.MetadataReads == 0 {
+		t.Errorf("expected object and metadata reads, got %+v", st)
+	}
+	if st.PagesVisited <= 0 || st.RecordsVisited < st.PagesVisited {
+		t.Errorf("visit counters implausible: %+v", st)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	pool := storage.NewBufferPool(storage.NewMemPager(), 0)
+	if _, err := Build(pool, nil, Options{}); err != ErrEmpty {
+		t.Errorf("empty build: %v", err)
+	}
+	els := randomElements(rand.New(rand.NewSource(1)), 10, worldBox())
+	if _, err := Build(pool, els, Options{PageCapacity: 1000}); err == nil {
+		t.Error("oversized capacity accepted")
+	}
+	if _, err := Build(pool, els, Options{PageCapacity: -1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestSmallIndexSingleMetadataPage(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	els := randomElements(r, 30, worldBox())
+	ix, _ := buildIndex(t, els, Options{World: worldBox()})
+	if ix.SeedHeight() != 1 {
+		t.Errorf("SeedHeight = %d, want 1 (root is metadata page)", ix.SeedHeight())
+	}
+	obj, meta, seed := ix.PageCounts()
+	if obj != 1 || meta != 1 || seed != 0 {
+		t.Errorf("PageCounts = %d,%d,%d", obj, meta, seed)
+	}
+	got, _, err := ix.RangeQuery(worldBox())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Errorf("full query returned %d", len(got))
+	}
+}
+
+func TestAnalysisAccessors(t *testing.T) {
+	r := rand.New(rand.NewSource(157))
+	els := randomElements(r, 4000, worldBox())
+	ix, _ := buildIndex(t, els, Options{World: worldBox()})
+
+	h := ix.NeighborHistogram()
+	total := 0
+	for n, c := range h {
+		if n < 0 || c <= 0 {
+			t.Fatalf("bad histogram entry %d:%d", n, c)
+		}
+		total += c
+	}
+	if total != ix.NumPartitions() {
+		t.Errorf("histogram covers %d partitions, want %d", total, ix.NumPartitions())
+	}
+	if ix.AvgNeighbors() <= 0 {
+		t.Error("AvgNeighbors should be positive")
+	}
+	if ix.AvgPartitionVolume() <= 0 {
+		t.Error("AvgPartitionVolume should be positive")
+	}
+	bs := ix.BuildStats()
+	if bs.Partitions != ix.NumPartitions() || bs.NeighborLinks <= 0 || bs.TotalTime <= 0 {
+		t.Errorf("BuildStats implausible: %+v", bs)
+	}
+	if ix.SizeBytes() == 0 || ix.SeedHeight() < 1 {
+		t.Error("size/height accessors")
+	}
+	if !ix.World().Contains(ix.Bounds()) {
+		t.Error("world should contain bounds")
+	}
+}
+
+// TestSeedPhaseCheap verifies the complexity claim of Section IV: the
+// seed phase is in the order of the seed-tree height even on a large
+// index, i.e. seeding reads far fewer pages than crawling on a selective
+// query.
+func TestSeedPhaseCheap(t *testing.T) {
+	r := rand.New(rand.NewSource(163))
+	els := randomElements(r, 30000, worldBox())
+	ix, pool := buildIndex(t, els, Options{World: worldBox()})
+
+	q := geom.CubeAt(geom.V(50, 50, 50), 30)
+	pool.Reset()
+	_, st, err := ix.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SeedReads > uint64(ix.SeedHeight()) {
+		t.Errorf("seed phase read %d internal pages, height is %d", st.SeedReads, ix.SeedHeight())
+	}
+	if st.ObjectReads < 20 {
+		t.Errorf("expected a substantial crawl, got %d object reads", st.ObjectReads)
+	}
+}
+
+// TestVisitedOncePerPage: Algorithm 2 keeps a visited set, so no object
+// page is read twice within one query even though many records point at
+// each other. With an unbounded pool, ObjectReads == PagesVisited.
+func TestVisitedOncePerPage(t *testing.T) {
+	r := rand.New(rand.NewSource(167))
+	els := randomElements(r, 8000, worldBox())
+	ix, pool := buildIndex(t, els, Options{World: worldBox()})
+	pool.Reset()
+	_, st, err := ix.RangeQuery(geom.CubeAt(geom.V(60, 40, 50), 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ObjectReads != uint64(st.PagesVisited) {
+		t.Errorf("object reads %d != pages visited %d", st.ObjectReads, st.PagesVisited)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	mk := func() *Index {
+		r := rand.New(rand.NewSource(173))
+		els := randomElements(r, 2000, worldBox())
+		ix, _ := buildIndex(t, els, Options{World: worldBox()})
+		return ix
+	}
+	a, b := mk(), mk()
+	if a.NumPartitions() != b.NumPartitions() {
+		t.Fatal("partition counts differ")
+	}
+	if a.BuildStats().NeighborLinks != b.BuildStats().NeighborLinks {
+		t.Fatal("neighbor links differ")
+	}
+	qa, _, _ := a.RangeQuery(geom.CubeAt(geom.V(50, 50, 50), 10))
+	qb, _, _ := b.RangeQuery(geom.CubeAt(geom.V(50, 50, 50), 10))
+	if !equalIDs(sortedIDs(qa), sortedIDs(qb)) {
+		t.Fatal("query results differ between identical builds")
+	}
+}

@@ -1,0 +1,167 @@
+// Package core implements FLAT, the paper's primary contribution: a
+// two-phase (seed + crawl) spatial index for dense, mostly-static 3D
+// data sets.
+//
+// # Data structures (Section V-B)
+//
+//   - Object pages hold the spatial elements, packed in STR order. They
+//     use the same on-page layout as R-tree leaves (73 MBR+id entries per
+//     4 KiB page).
+//   - Metadata records — one per object page — hold the page MBR, the
+//     partition MBR, a pointer to the object page, and pointers to the
+//     records of all neighboring partitions. Records are variable-size
+//     and packed into the leaf pages of the seed tree in STR order, which
+//     preserves the spatial locality of neighboring records.
+//   - The seed index is an R-tree built (with BuildAbove) over the
+//     metadata pages; its leaf level *is* the metadata pages.
+//
+// # Query execution (Section VI)
+//
+// A range query first walks a single pruned path of the seed tree until
+// it finds a metadata record whose object page contains an element
+// intersecting the query (seed phase), then breadth-first-searches the
+// neighborhood pointers, reading an object page only when its page MBR
+// intersects the query and expanding neighbors only when the partition
+// MBR does (crawl phase, Algorithm 2).
+package core
+
+import (
+	"time"
+
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+// Options configures FLAT index construction.
+type Options struct {
+	// PageCapacity is the maximum number of elements per object page.
+	// Zero means a full 4 KiB page (73 elements). It must not exceed the
+	// page capacity.
+	PageCapacity int
+	// World is the space to partition. The partition cells tile this box
+	// exactly, which is what guarantees the "no empty space" property.
+	// Empty means the MBR of the data set.
+	World geom.MBR
+	// SeedFanout caps the entries per seed-tree internal node. Zero means
+	// a full page. The benchmark harness reduces it together with
+	// PageCapacity to reproduce the paper's tree depths at reproduction
+	// scale (see EXPERIMENTS.md §Scaling).
+	SeedFanout int
+	// NoMetaTiling disables the 3D STR tiling of metadata records into
+	// seed-tree leaf pages and packs them in plain partition order
+	// instead. Exists only for the ablation experiment that quantifies
+	// the locality the paper obtains by storing records in R-tree leaves
+	// (Section V-B.2).
+	NoMetaTiling bool
+}
+
+// BuildStats reports where index-construction time went, matching the
+// breakdown of the paper's Figure 10 (Partitioning vs Finding Neighbors).
+type BuildStats struct {
+	PartitionTime time.Duration // STR pass + MBR computation
+	NeighborTime  time.Duration // temporary R-tree + neighbor queries
+	WriteTime     time.Duration // serializing object/metadata/seed pages
+	TotalTime     time.Duration
+	Partitions    int // number of partitions = object pages
+	NeighborLinks int // total directed neighbor pointers stored
+	// OverflowRecords counts continuation records created for partitions
+	// whose neighbor list exceeded a single metadata record (extremely
+	// elongated elements stretch one partition's MBR across many cells).
+	OverflowRecords int
+}
+
+// Index is a built FLAT index. All page access during queries goes
+// through the BufferPool supplied at build time, so the harness can
+// measure exactly the page reads the paper reports.
+type Index struct {
+	pool *storage.BufferPool
+
+	seedRoot   storage.PageID
+	seedHeight int // levels including the metadata (leaf) level
+	world      geom.MBR
+	bounds     geom.MBR
+	count      int
+
+	objectPages   int
+	metadataPages int
+	seedInternal  int
+	seedFanout    int
+	noMetaTiling  bool
+	objStart      storage.PageID // first object page (pages are contiguous per kind)
+
+	// neighborCounts[i] = number of neighbor pointers of partition i;
+	// kept for the Fig 20/21 analyses. Partition cell volumes likewise.
+	neighborCounts []int
+	cellVolumes    []float64
+
+	build BuildStats
+}
+
+// Len returns the number of indexed elements.
+func (ix *Index) Len() int { return ix.count }
+
+// World returns the partitioned space.
+func (ix *Index) World() geom.MBR { return ix.world }
+
+// Bounds returns the MBR of the indexed elements.
+func (ix *Index) Bounds() geom.MBR { return ix.bounds }
+
+// NumPartitions returns the number of partitions (= object pages).
+func (ix *Index) NumPartitions() int { return ix.build.Partitions }
+
+// SeedHeight returns the height of the seed tree in levels, counting the
+// metadata level as level 1.
+func (ix *Index) SeedHeight() int { return ix.seedHeight }
+
+// PageCounts returns the number of object, metadata and seed-internal
+// pages.
+func (ix *Index) PageCounts() (object, metadata, seedInternal int) {
+	return ix.objectPages, ix.metadataPages, ix.seedInternal
+}
+
+// SizeBytes returns the total on-disk footprint of the index.
+func (ix *Index) SizeBytes() uint64 {
+	return uint64(ix.objectPages+ix.metadataPages+ix.seedInternal) * storage.PageSize
+}
+
+// BuildStats returns the construction-time breakdown.
+func (ix *Index) BuildStats() BuildStats { return ix.build }
+
+// Pool returns the buffer pool the index reads through.
+func (ix *Index) Pool() *storage.BufferPool { return ix.pool }
+
+// NeighborHistogram returns how many partitions have each neighbor-
+// pointer count — the distribution of the paper's Figure 20.
+func (ix *Index) NeighborHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, n := range ix.neighborCounts {
+		h[n]++
+	}
+	return h
+}
+
+// AvgNeighbors returns the mean number of neighbor pointers per
+// partition (Figure 21's y-axis).
+func (ix *Index) AvgNeighbors() float64 {
+	if len(ix.neighborCounts) == 0 {
+		return 0
+	}
+	total := 0
+	for _, n := range ix.neighborCounts {
+		total += n
+	}
+	return float64(total) / float64(len(ix.neighborCounts))
+}
+
+// AvgPartitionVolume returns the mean partition-cell volume (Figure 21's
+// x-axis).
+func (ix *Index) AvgPartitionVolume() float64 {
+	if len(ix.cellVolumes) == 0 {
+		return 0
+	}
+	var total float64
+	for _, v := range ix.cellVolumes {
+		total += v
+	}
+	return total / float64(len(ix.cellVolumes))
+}

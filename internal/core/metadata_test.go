@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+func TestRecordRefPacking(t *testing.T) {
+	ref := makeRef(123456, 42)
+	if ref.Page() != 123456 {
+		t.Errorf("Page = %d", ref.Page())
+	}
+	if ref.Slot() != 42 {
+		t.Errorf("Slot = %d", ref.Slot())
+	}
+	if ref.String() != "meta(123456:42)" {
+		t.Errorf("String = %q", ref.String())
+	}
+}
+
+func randomRecord(r *rand.Rand, neighbors int) *metaRecord {
+	page := geom.CubeAt(geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100), 1+r.Float64())
+	m := &metaRecord{
+		PageMBR:      page,
+		PartitionMBR: page.Expand(r.Float64()),
+		ObjectPage:   storage.PageID(r.Uint64() >> 16),
+		Overflow:     noRef,
+		Neighbors:    make([]RecordRef, neighbors),
+	}
+	for i := range m.Neighbors {
+		m.Neighbors[i] = makeRef(storage.PageID(r.Uint32()), r.Intn(100))
+	}
+	return m
+}
+
+func TestMetaPageCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	records := []*metaRecord{
+		randomRecord(r, 0),
+		randomRecord(r, 5),
+		randomRecord(r, 30),
+		randomRecord(r, 1),
+	}
+	buf := make([]byte, storage.PageSize)
+	encodeMetaPage(buf, records)
+	if got := metaPageRecordCount(buf); got != 4 {
+		t.Fatalf("record count = %d", got)
+	}
+	for slot, want := range records {
+		got, err := decodeMetaRecord(buf, slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PageMBR != want.PageMBR || got.PartitionMBR != want.PartitionMBR ||
+			got.ObjectPage != want.ObjectPage || got.Overflow != want.Overflow {
+			t.Fatalf("slot %d header mismatch", slot)
+		}
+		if len(got.Neighbors) != len(want.Neighbors) {
+			t.Fatalf("slot %d neighbor count = %d, want %d", slot, len(got.Neighbors), len(want.Neighbors))
+		}
+		for i := range got.Neighbors {
+			if got.Neighbors[i] != want.Neighbors[i] {
+				t.Fatalf("slot %d neighbor %d mismatch", slot, i)
+			}
+		}
+	}
+}
+
+func TestDecodeMetaRecordErrors(t *testing.T) {
+	buf := make([]byte, storage.PageSize)
+	encodeMetaPage(buf, []*metaRecord{randomRecord(rand.New(rand.NewSource(1)), 2)})
+	if _, err := decodeMetaRecord(buf, 1); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+	if _, err := decodeMetaRecord(buf, -1); err == nil {
+		t.Error("negative slot accepted")
+	}
+	var notMeta [storage.PageSize]byte
+	notMeta[0] = 1 // rtree leaf kind
+	if _, err := decodeMetaRecord(notMeta[:], 0); err == nil {
+		t.Error("wrong page kind accepted")
+	}
+}
+
+func TestPackMetaPagesFillsPages(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	// 100 records with ~20 neighbors each: ~270 bytes -> ~15 per page.
+	records := make([]*metaRecord, 100)
+	for i := range records {
+		records[i] = randomRecord(r, 15+r.Intn(10))
+	}
+	groups, err := packMetaPages(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for gi, g := range groups {
+		n := g[1] - g[0]
+		if n <= 0 {
+			t.Fatalf("group %d empty", gi)
+		}
+		total += n
+		// Verify the group actually fits by encoding it.
+		buf := make([]byte, storage.PageSize)
+		encodeMetaPage(buf, records[g[0]:g[1]])
+		// Verify the group is maximal: adding the next record would
+		// overflow (except for the last group).
+		if gi < len(groups)-1 {
+			used := metaPageOverhead
+			for i := g[0]; i < g[1]; i++ {
+				used += records[i].encodedSize() + 2
+			}
+			next := records[g[1]].encodedSize() + 2
+			if used+next <= storage.PageSize {
+				t.Fatalf("group %d not maximal: %d used, next needs %d", gi, used, next)
+			}
+		}
+	}
+	if total != len(records) {
+		t.Fatalf("groups cover %d records, want %d", total, len(records))
+	}
+}
+
+func TestPackMetaPagesRejectsGiantRecord(t *testing.T) {
+	m := randomRecord(rand.New(rand.NewSource(1)), 600) // 116+4800 > 4090
+	if _, err := packMetaPages([]*metaRecord{m}); err == nil {
+		t.Error("oversized record accepted")
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	m := randomRecord(rand.New(rand.NewSource(1)), 3)
+	if got := m.encodedSize(); got != 48+48+8+8+4+24 {
+		t.Errorf("encodedSize = %d", got)
+	}
+}

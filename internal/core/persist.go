@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flat/internal/storage"
+)
+
+// Index persistence. A built index occupies three contiguous page runs
+// on its pager (object pages, then metadata pages, then seed-internal
+// pages — Build allocates them in that order with nothing interleaved),
+// followed by one superblock page written by WriteSuper. Open reads the
+// superblock back, restores the index header and re-tags the page
+// categories so read accounting keeps working after a restart.
+//
+// The per-partition analysis arrays (neighbor histograms, cell volumes)
+// are build-time measurement aids and are not persisted; the analysis
+// accessors return zero values on a reopened index.
+
+const (
+	superMagic   = 0x464c4154 // "FLAT"
+	superVersion = 1
+)
+
+// ErrNoSuper is returned by Open when the pager holds no superblock.
+var ErrNoSuper = errors.New("core: pager does not contain a FLAT superblock")
+
+// WriteSuper appends the superblock page describing the index layout.
+// Call it once, after Build, before closing a disk-backed pager.
+func (ix *Index) WriteSuper() error {
+	id, err := ix.pool.Alloc(storage.CatUnknown)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, storage.PageSize)
+	w := storage.NewPageWriter(buf)
+	w.PutU32(superMagic)
+	w.PutU32(superVersion)
+	w.PutU64(uint64(ix.seedRoot))
+	w.PutU32(uint32(ix.seedHeight))
+	w.PutU32(uint32(ix.seedFanout))
+	w.PutMBR(ix.world)
+	w.PutMBR(ix.bounds)
+	w.PutU64(uint64(ix.count))
+	w.PutU64(uint64(ix.objStart))
+	w.PutU32(uint32(ix.objectPages))
+	w.PutU32(uint32(ix.metadataPages))
+	w.PutU32(uint32(ix.seedInternal))
+	w.PutU32(uint32(ix.build.Partitions))
+	if w.Overflow() {
+		return fmt.Errorf("core: superblock overflow")
+	}
+	return ix.pool.Write(id, buf)
+}
+
+// Open restores an index from a pager whose last page is a superblock
+// written by WriteSuper. The supplied buffer pool must wrap that pager.
+// When the pager is a *storage.FilePager, Open re-registers the page
+// categories (they are measurement metadata, not persisted per page).
+func Open(pool *storage.BufferPool) (*Index, error) {
+	pager := pool.Pager()
+	n := pager.NumPages()
+	if n == 0 {
+		return nil, ErrNoSuper
+	}
+	page, err := pool.Read(storage.PageID(n - 1))
+	if err != nil {
+		return nil, err
+	}
+	r := storage.NewPageReader(page)
+	if r.U32() != superMagic {
+		return nil, ErrNoSuper
+	}
+	if v := r.U32(); v != superVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", v)
+	}
+	ix := &Index{pool: pool}
+	ix.seedRoot = storage.PageID(r.U64())
+	ix.seedHeight = int(r.U32())
+	ix.seedFanout = int(r.U32())
+	ix.world = r.MBR()
+	ix.bounds = r.MBR()
+	ix.count = int(r.U64())
+	ix.objStart = storage.PageID(r.U64())
+	ix.objectPages = int(r.U32())
+	ix.metadataPages = int(r.U32())
+	ix.seedInternal = int(r.U32())
+	ix.build.Partitions = int(r.U32())
+
+	if fp, ok := pager.(*storage.FilePager); ok {
+		id := ix.objStart
+		for i := 0; i < ix.objectPages; i++ {
+			fp.SetCategory(id, storage.CatObject)
+			id++
+		}
+		for i := 0; i < ix.metadataPages; i++ {
+			fp.SetCategory(id, storage.CatMetadata)
+			id++
+		}
+		for i := 0; i < ix.seedInternal; i++ {
+			fp.SetCategory(id, storage.CatSeedInternal)
+			id++
+		}
+	}
+	// Start cold, like a fresh Build.
+	pool.Reset()
+	return ix, nil
+}

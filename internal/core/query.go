@@ -1,0 +1,288 @@
+package core
+
+import (
+	"flat/internal/geom"
+	"flat/internal/rtree"
+	"flat/internal/storage"
+)
+
+// QueryStats describes one range-query execution. Page-read counts are
+// deltas of the buffer pool's counters over the query, broken down by
+// page category the way the paper's Figure 14/18 breakdowns are.
+type QueryStats struct {
+	Results        int    // elements in the result set
+	RecordsVisited int    // metadata records dequeued by the BFS
+	PagesVisited   int    // distinct object pages read
+	SeedReads      uint64 // seed-tree internal node page reads
+	MetadataReads  uint64 // metadata (seed leaf) page reads
+	ObjectReads    uint64 // object page reads
+	TotalReads     uint64
+}
+
+// RangeQuery returns all elements whose MBR intersects q, executing the
+// paper's two-phase algorithm: seed then crawl. The result order is the
+// BFS visit order and therefore deterministic for a given index.
+func (ix *Index) RangeQuery(q geom.MBR) ([]geom.Element, QueryStats, error) {
+	var result []geom.Element
+	stats, err := ix.query(q, func(e geom.Element) { result = append(result, e) })
+	stats.Results = len(result)
+	return result, stats, err
+}
+
+// CountQuery is RangeQuery without materializing the result elements;
+// the page access pattern is identical.
+func (ix *Index) CountQuery(q geom.MBR) (int, QueryStats, error) {
+	n := 0
+	stats, err := ix.query(q, func(geom.Element) { n++ })
+	stats.Results = n
+	return n, stats, err
+}
+
+func (ix *Index) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) {
+	before := ix.pool.Stats()
+	var st QueryStats
+
+	seedRef, ok, err := ix.seed(q)
+	if err != nil {
+		return st, err
+	}
+	if ok {
+		if err := ix.crawl(q, seedRef, emit, &st); err != nil {
+			return st, err
+		}
+	}
+
+	delta := ix.pool.Stats().Sub(before)
+	st.SeedReads = delta.Reads[storage.CatSeedInternal]
+	st.MetadataReads = delta.Reads[storage.CatMetadata]
+	st.ObjectReads = delta.Reads[storage.CatObject]
+	st.TotalReads = delta.TotalReads()
+	return st, nil
+}
+
+// seed walks the seed tree depth-first, pruned by q, until it finds a
+// metadata record whose object page holds at least one element
+// intersecting q (Section V-B.1). It follows one root-to-leaf path at a
+// time and stops at the first hit, so its cost is in the order of the
+// seed-tree height; only for nearly-empty queries does it inspect
+// several leaves before concluding the result is empty.
+func (ix *Index) seed(q geom.MBR) (RecordRef, bool, error) {
+	type item struct {
+		page  storage.PageID
+		level int // 1 = metadata page
+	}
+	stack := []item{{ix.seedRoot, ix.seedHeight}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		page, err := ix.pool.Read(it.page)
+		if err != nil {
+			return 0, false, err
+		}
+		if it.level > 1 {
+			_, entries := rtree.DecodeNode(page)
+			for _, e := range entries {
+				if e.Box.Intersects(q) {
+					stack = append(stack, item{storage.PageID(e.Ref), it.level - 1})
+				}
+			}
+			continue
+		}
+		// Metadata page: check each record whose page MBR intersects the
+		// query by reading its object page, exactly as the paper's
+		// modified R-tree lookup does.
+		count := metaPageRecordCount(page)
+		for slot := 0; slot < count; slot++ {
+			m, err := decodeMetaRecord(page, slot)
+			if err != nil {
+				return 0, false, err
+			}
+			// Skip overflow continuation records; they carry no page.
+			if m.ObjectPage == storage.InvalidPage || !m.PageMBR.Intersects(q) {
+				continue
+			}
+			hit, err := ix.objectPageHasHit(m.ObjectPage, q)
+			if err != nil {
+				return 0, false, err
+			}
+			if hit {
+				return makeRef(it.page, slot), true, nil
+			}
+			// The seed page buffer may have been evicted by the object
+			// read in a tiny pool; re-read it (cached in all realistic
+			// configurations).
+			page, err = ix.pool.Read(it.page)
+			if err != nil {
+				return 0, false, err
+			}
+		}
+	}
+	return 0, false, nil
+}
+
+func (ix *Index) objectPageHasHit(id storage.PageID, q geom.MBR) (bool, error) {
+	page, err := ix.pool.Read(id)
+	if err != nil {
+		return false, err
+	}
+	_, entries := rtree.DecodeNode(page)
+	for _, e := range entries {
+		if e.Box.Intersects(q) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// crawl is the paper's Algorithm 2: a breadth-first search over the
+// neighborhood pointers starting from the seed record. An object page is
+// read only when the record's page MBR intersects the query; a record's
+// neighbors are expanded only when its partition MBR does. Each record
+// and each object page is visited at most once.
+func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st *QueryStats) error {
+	queue := []RecordRef{start}
+	enqueued := map[RecordRef]bool{start: true}
+	visitedPages := make(map[storage.PageID]bool)
+
+	for len(queue) > 0 {
+		ref := queue[0]
+		queue = queue[1:]
+		page, err := ix.pool.Read(ref.Page())
+		if err != nil {
+			return err
+		}
+		m, err := decodeMetaRecord(page, ref.Slot())
+		if err != nil {
+			return err
+		}
+		st.RecordsVisited++
+
+		if m.PageMBR.Intersects(q) && !visitedPages[m.ObjectPage] {
+			visitedPages[m.ObjectPage] = true
+			objPage, err := ix.pool.Read(m.ObjectPage)
+			if err != nil {
+				return err
+			}
+			_, entries := rtree.DecodeNode(objPage)
+			for _, e := range entries {
+				if e.Box.Intersects(q) {
+					emit(geom.Element{ID: e.Ref, Box: e.Box})
+				}
+			}
+		}
+		if m.PartitionMBR.Intersects(q) {
+			for _, n := range m.Neighbors {
+				if !enqueued[n] {
+					enqueued[n] = true
+					queue = append(queue, n)
+				}
+			}
+			// Giant partitions continue their neighbor list in chained
+			// overflow records; follow the chain (each hop is at most
+			// one metadata page read).
+			for next := m.Overflow; next != noRef; {
+				ovPage, err := ix.pool.Read(next.Page())
+				if err != nil {
+					return err
+				}
+				ov, err := decodeMetaRecord(ovPage, next.Slot())
+				if err != nil {
+					return err
+				}
+				for _, n := range ov.Neighbors {
+					if !enqueued[n] {
+						enqueued[n] = true
+						queue = append(queue, n)
+					}
+				}
+				next = ov.Overflow
+			}
+		}
+	}
+	st.PagesVisited = len(visitedPages)
+	return nil
+}
+
+// CrawlFrom executes the crawl phase from an explicit start record; it
+// exists so tests can verify the paper's claim that "the choice of the
+// start page affects neither the accuracy nor efficiency of the search".
+func (ix *Index) CrawlFrom(q geom.MBR, start RecordRef) ([]geom.Element, error) {
+	var result []geom.Element
+	var st QueryStats
+	err := ix.crawl(q, start, func(e geom.Element) { result = append(result, e) }, &st)
+	return result, err
+}
+
+// Records enumerates every metadata record in the index in on-disk
+// order, calling fn with its ref and decoded content. Used by invariant
+// tests and the flatindex CLI inspect mode.
+func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, objectPage storage.PageID, neighbors []RecordRef) error) error {
+	return ix.walkMeta(func(page storage.PageID, buf []byte) error {
+		count := metaPageRecordCount(buf)
+		for slot := 0; slot < count; slot++ {
+			m, err := decodeMetaRecord(buf, slot)
+			if err != nil {
+				return err
+			}
+			if m.ObjectPage == storage.InvalidPage {
+				continue // overflow continuation record
+			}
+			// Collect the full neighbor list across the overflow chain.
+			neighbors := m.Neighbors
+			for next := m.Overflow; next != noRef; {
+				ovPage, err := ix.pool.Read(next.Page())
+				if err != nil {
+					return err
+				}
+				ov, err := decodeMetaRecord(ovPage, next.Slot())
+				if err != nil {
+					return err
+				}
+				neighbors = append(neighbors, ov.Neighbors...)
+				next = ov.Overflow
+				// Restore this iteration's page buffer.
+				buf, err = ix.pool.Read(page)
+				if err != nil {
+					return err
+				}
+			}
+			if err := fn(makeRef(page, slot), m.PageMBR, m.PartitionMBR, m.ObjectPage, neighbors); err != nil {
+				return err
+			}
+			// Refresh in case of eviction mid-iteration.
+			buf, err = ix.pool.Read(page)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// walkMeta visits every metadata page via the seed tree.
+func (ix *Index) walkMeta(fn func(id storage.PageID, buf []byte) error) error {
+	type item struct {
+		page  storage.PageID
+		level int
+	}
+	stack := []item{{ix.seedRoot, ix.seedHeight}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		page, err := ix.pool.Read(it.page)
+		if err != nil {
+			return err
+		}
+		if it.level > 1 {
+			_, entries := rtree.DecodeNode(page)
+			for _, e := range entries {
+				stack = append(stack, item{storage.PageID(e.Ref), it.level - 1})
+			}
+			continue
+		}
+		if err := fn(it.page, page); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package datagen generates the synthetic data sets used by the
+// reproduction of Section VIII ("FLAT on other data sets") and by the
+// partition-analysis experiments of Section VII-E:
+//
+//   - UniformBoxes: uniformly random elements with controlled volume and
+//     aspect ratio (Figure 21 and the two text experiments around it).
+//   - Plummer: gravitationally clustered point sets standing in for the
+//     Nuage n-body snapshots (dark matter / gas / stars).
+//   - SurfaceMesh: procedural triangle meshes standing in for the brain
+//     surface mesh and the Lucy statue scan.
+//
+// All generators are deterministic in their seed.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"flat/internal/geom"
+)
+
+// UniformSpec configures UniformBoxes.
+type UniformSpec struct {
+	N     int      // number of elements
+	World geom.MBR // placement volume
+	// ElementVolume is the volume of each element in µm³. Zero means
+	// point-like elements (18 µm³, the paper's Section VII-E default).
+	ElementVolume float64
+	// AspectMin/AspectMax give the per-axis length range before volume
+	// normalization. Equal values produce cubes; the paper's aspect
+	// experiment uses 5..35 µm. Zero values mean cubes.
+	AspectMin, AspectMax float64
+	Seed                 int64
+}
+
+// UniformBoxes generates uniformly distributed boxes per spec. Element
+// centers are uniform in World; each element's side lengths are drawn
+// from the aspect range and then normalized so every element has exactly
+// ElementVolume (the paper's normalization "by choosing an axis at
+// random" is realized as uniform scaling, which preserves the sampled
+// aspect ratio).
+func UniformBoxes(spec UniformSpec) []geom.Element {
+	if spec.ElementVolume == 0 {
+		spec.ElementVolume = 18
+	}
+	if spec.AspectMin == 0 && spec.AspectMax == 0 {
+		side := math.Cbrt(spec.ElementVolume)
+		spec.AspectMin, spec.AspectMax = side, side
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	els := make([]geom.Element, spec.N)
+	size := spec.World.Size()
+	for i := range els {
+		c := geom.V(
+			spec.World.Min.X+r.Float64()*size.X,
+			spec.World.Min.Y+r.Float64()*size.Y,
+			spec.World.Min.Z+r.Float64()*size.Z,
+		)
+		lx := sample(r, spec.AspectMin, spec.AspectMax)
+		ly := sample(r, spec.AspectMin, spec.AspectMax)
+		lz := sample(r, spec.AspectMin, spec.AspectMax)
+		// Normalize to the target volume.
+		f := math.Cbrt(spec.ElementVolume / (lx * ly * lz))
+		h := geom.V(lx*f/2, ly*f/2, lz*f/2)
+		els[i] = geom.Element{ID: uint64(i), Box: geom.MBR{Min: c.Sub(h), Max: c.Add(h)}}
+	}
+	return els
+}
+
+func sample(r *rand.Rand, lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// PlummerSpec configures the n-body stand-in generator.
+type PlummerSpec struct {
+	N        int      // number of particles
+	World    geom.MBR // bounding volume
+	Clusters int      // number of Plummer spheres (halos); default 12
+	// ParticleSize is the edge of the tiny box representing a particle;
+	// default: world size / 10000.
+	ParticleSize float64
+	Seed         int64
+}
+
+// Plummer generates a clustered particle data set: particles are
+// distributed among Plummer spheres whose centers are uniform in the
+// world, with the classic Plummer radial density profile
+// rho(r) ∝ (1 + (r/a)²)^(-5/2). This reproduces the strong density skew
+// of cosmological n-body snapshots.
+func Plummer(spec PlummerSpec) []geom.Element {
+	if spec.Clusters == 0 {
+		spec.Clusters = 12
+	}
+	if spec.ParticleSize == 0 {
+		spec.ParticleSize = spec.World.Size().Len() / 10000
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	size := spec.World.Size()
+	centers := make([]geom.Vec3, spec.Clusters)
+	radii := make([]float64, spec.Clusters)
+	minSide := math.Min(size.X, math.Min(size.Y, size.Z))
+	for i := range centers {
+		centers[i] = geom.V(
+			spec.World.Min.X+r.Float64()*size.X,
+			spec.World.Min.Y+r.Float64()*size.Y,
+			spec.World.Min.Z+r.Float64()*size.Z,
+		)
+		radii[i] = minSide * (0.01 + 0.03*r.Float64()) // scale radius a
+	}
+	els := make([]geom.Element, spec.N)
+	h := spec.ParticleSize / 2
+	for i := range els {
+		c := r.Intn(spec.Clusters)
+		p := plummerSample(r, centers[c], radii[c], spec.World)
+		els[i] = geom.Element{
+			ID:  uint64(i),
+			Box: geom.MBR{Min: p.Sub(geom.V(h, h, h)), Max: p.Add(geom.V(h, h, h))},
+		}
+	}
+	return els
+}
+
+// plummerSample draws one point from a Plummer sphere (inversion method)
+// clamped to the world box.
+func plummerSample(r *rand.Rand, center geom.Vec3, a float64, world geom.MBR) geom.Vec3 {
+	// Radius via inverse CDF: r = a / sqrt(u^(-2/3) - 1).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	rad := a / math.Sqrt(math.Pow(u, -2.0/3.0)-1)
+	// Cap the heavy Plummer tail at 6a (≈97% of the mass lies within) so
+	// halos stay compact relative to the world.
+	if rad > 6*a {
+		rad = 6 * a
+	}
+	dir := geom.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()).Normalize()
+	p := center.Add(dir.Scale(rad))
+	// Clamp into the world.
+	p = p.Max(world.Min).Min(world.Max)
+	return p
+}
+
+// MeshSpec configures the surface-mesh generator.
+type MeshSpec struct {
+	N     int      // number of triangles (rounded to a full grid)
+	World geom.MBR // the mesh is scaled to fill ~80% of this box
+	// Bumps controls the deformation of the base sphere: higher values
+	// produce a craggier, statue-like surface. Default 6.
+	Bumps int
+	Seed  int64
+}
+
+// SurfaceMesh generates a closed, deformed sphere shell triangulated
+// into roughly N triangles: a 2-manifold of dense, thin, locally
+// connected triangles, the indexing stress profile of the paper's brain
+// mesh and Lucy data sets.
+func SurfaceMesh(spec MeshSpec) []geom.Element {
+	if spec.Bumps == 0 {
+		spec.Bumps = 6
+	}
+	r := rand.New(rand.NewSource(spec.Seed))
+	// A lat/long grid of m rows and 2m columns yields 2*m*2m triangles:
+	// choose m so 4m² ≈ N.
+	m := int(math.Sqrt(float64(spec.N) / 4.0))
+	if m < 2 {
+		m = 2
+	}
+	rows, cols := m, 2*m
+
+	// Random spherical-harmonic-like bump parameters.
+	type bump struct {
+		freqT, freqP float64
+		phase        float64
+		amp          float64
+	}
+	bumps := make([]bump, spec.Bumps)
+	for i := range bumps {
+		bumps[i] = bump{
+			freqT: float64(1 + r.Intn(5)),
+			freqP: float64(1 + r.Intn(5)),
+			phase: r.Float64() * 2 * math.Pi,
+			amp:   0.02 + 0.06*r.Float64(),
+		}
+	}
+	radius := func(theta, phi float64) float64 {
+		rr := 1.0
+		for _, b := range bumps {
+			rr += b.amp * math.Sin(b.freqT*theta+b.phase) * math.Cos(b.freqP*phi)
+		}
+		return rr
+	}
+	center := spec.World.Center()
+	s := spec.World.Size()
+	scale := 0.4 * math.Min(s.X, math.Min(s.Y, s.Z))
+	vertex := func(i, j int) geom.Vec3 {
+		theta := math.Pi * float64(i) / float64(rows)        // 0..pi
+		phi := 2 * math.Pi * float64(j%cols) / float64(cols) // 0..2pi
+		rr := radius(theta, phi) * scale
+		return center.Add(geom.V(
+			rr*math.Sin(theta)*math.Cos(phi),
+			rr*math.Sin(theta)*math.Sin(phi),
+			rr*math.Cos(theta),
+		))
+	}
+
+	var els []geom.Element
+	id := uint64(0)
+	emit := func(t geom.Triangle) {
+		els = append(els, geom.Element{ID: id, Box: t.MBR()})
+		id++
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v00 := vertex(i, j)
+			v01 := vertex(i, j+1)
+			v10 := vertex(i+1, j)
+			v11 := vertex(i+1, j+1)
+			emit(geom.Triangle{P0: v00, P1: v01, P2: v10})
+			emit(geom.Triangle{P0: v01, P1: v11, P2: v10})
+		}
+	}
+	return els
+}

@@ -1,0 +1,83 @@
+package datagen
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"flat/internal/geom"
+)
+
+func TestElementsIORoundTrip(t *testing.T) {
+	els := UniformBoxes(UniformSpec{N: 500, World: world8mm(), Seed: 11})
+	var buf bytes.Buffer
+	if err := WriteElements(&buf, els); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadElements(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(els) {
+		t.Fatalf("count = %d, want %d", len(got), len(els))
+	}
+	for i := range got {
+		if got[i] != els[i] {
+			t.Fatalf("element %d mismatch: %+v != %+v", i, got[i], els[i])
+		}
+	}
+}
+
+func TestElementsIOEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteElements(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadElements(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expected empty, got %d", len(got))
+	}
+}
+
+func TestElementsIOBadInput(t *testing.T) {
+	if _, err := ReadElements(bytes.NewReader([]byte("JUNKJUNKJUNK"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadElements(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated body.
+	els := UniformBoxes(UniformSpec{N: 10, World: world8mm(), Seed: 12})
+	var buf bytes.Buffer
+	if err := WriteElements(&buf, els); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-20]
+	if _, err := ReadElements(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestSaveLoadElements(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "els.flte")
+	els := []geom.Element{
+		{ID: 1, Box: geom.Box(geom.V(0, 0, 0), geom.V(1, 1, 1))},
+		{ID: 2, Box: geom.Box(geom.V(-5, 0, 2), geom.V(0, 3, 4))},
+	}
+	if err := SaveElements(path, els); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadElements(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != els[0] || got[1] != els[1] {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+	if _, err := LoadElements(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"flat/internal/geom"
+)
+
+// QuerySpec describes a micro-benchmark query workload in the paper's
+// terms: Count queries, each covering VolumeFraction of the data-set
+// volume, with random location and random aspect ratio.
+//
+// The paper's SN benchmark uses VolumeFraction 5e-9 (i.e. 5×10⁻⁷ %) and
+// LSS uses 5e-6 (5×10⁻⁴ %).
+type QuerySpec struct {
+	Count          int
+	World          geom.MBR
+	VolumeFraction float64 // query volume / world volume
+	Seed           int64
+}
+
+// SN and LSS are the paper's two micro-benchmark volume fractions
+// (Section VII-A: 5×10⁻⁷ % and 5×10⁻⁴ % of the data set volume).
+const (
+	SNVolumeFraction  = 5e-9
+	LSSVolumeFraction = 5e-6
+)
+
+// Queries generates the workload: Count boxes of exactly the requested
+// volume, uniformly located inside World, with per-axis aspect factors
+// drawn uniformly from [1/3, 3] before volume normalization.
+func Queries(spec QuerySpec) []geom.MBR {
+	r := rand.New(rand.NewSource(spec.Seed))
+	qVol := spec.World.Volume() * spec.VolumeFraction
+	out := make([]geom.MBR, spec.Count)
+	size := spec.World.Size()
+	for i := range out {
+		// Random aspect ratio, normalized to the target volume.
+		ax := 1.0/3 + r.Float64()*(3-1.0/3)
+		ay := 1.0/3 + r.Float64()*(3-1.0/3)
+		az := 1.0/3 + r.Float64()*(3-1.0/3)
+		f := math.Cbrt(qVol / (ax * ay * az))
+		ex, ey, ez := ax*f, ay*f, az*f
+		// Random location with the box fully inside the world where
+		// possible (degenerate to clamping for oversized queries).
+		cx := sampleCenter(r, spec.World.Min.X, spec.World.Max.X, ex, size.X)
+		cy := sampleCenter(r, spec.World.Min.Y, spec.World.Max.Y, ey, size.Y)
+		cz := sampleCenter(r, spec.World.Min.Z, spec.World.Max.Z, ez, size.Z)
+		h := geom.V(ex/2, ey/2, ez/2)
+		c := geom.V(cx, cy, cz)
+		out[i] = geom.MBR{Min: c.Sub(h), Max: c.Add(h)}
+	}
+	return out
+}
+
+func sampleCenter(r *rand.Rand, lo, hi, extent, worldExtent float64) float64 {
+	if extent >= worldExtent {
+		return (lo + hi) / 2
+	}
+	return lo + extent/2 + r.Float64()*(worldExtent-extent)
+}
+
+// Points generates Count uniform random points in World (for the
+// point-query overlap experiment of Figure 2).
+func Points(count int, world geom.MBR, seed int64) []geom.Vec3 {
+	r := rand.New(rand.NewSource(seed))
+	size := world.Size()
+	out := make([]geom.Vec3, count)
+	for i := range out {
+		out[i] = geom.V(
+			world.Min.X+r.Float64()*size.X,
+			world.Min.Y+r.Float64()*size.Y,
+			world.Min.Z+r.Float64()*size.Z,
+		)
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randBox returns a random valid box inside [-50,50]^3.
+func randBox(r *rand.Rand) MBR {
+	c := V(r.Float64()*100-50, r.Float64()*100-50, r.Float64()*100-50)
+	s := V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+	return MBR{Min: c, Max: c.Add(s)}
+}
+
+func TestEmptyMBR(t *testing.T) {
+	e := EmptyMBR()
+	if !e.Empty() {
+		t.Fatal("EmptyMBR not Empty")
+	}
+	if e.Volume() != 0 {
+		t.Errorf("empty volume = %v", e.Volume())
+	}
+	b := Box(V(0, 0, 0), V(1, 1, 1))
+	if got := e.Union(b); got != b {
+		t.Errorf("Union with empty = %v, want %v", got, b)
+	}
+	if got := b.Union(e); got != b {
+		t.Errorf("Union with empty (rhs) = %v, want %v", got, b)
+	}
+}
+
+func TestBoxNormalizesCorners(t *testing.T) {
+	b := Box(V(1, 0, 5), V(0, 2, 3))
+	want := MBR{Min: V(0, 0, 3), Max: V(1, 2, 5)}
+	if b != want {
+		t.Errorf("Box = %v, want %v", b, want)
+	}
+}
+
+func TestCubeAt(t *testing.T) {
+	c := CubeAt(V(1, 1, 1), 2)
+	if c.Min != V(0, 0, 0) || c.Max != V(2, 2, 2) {
+		t.Errorf("CubeAt = %v", c)
+	}
+	if !almostEq(c.Volume(), 8) {
+		t.Errorf("volume = %v", c.Volume())
+	}
+}
+
+func TestMBRMetrics(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 3, 4))
+	if !almostEq(b.Volume(), 24) {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+	if !almostEq(b.SurfaceArea(), 2*(6+12+8)) {
+		t.Errorf("SurfaceArea = %v", b.SurfaceArea())
+	}
+	if !almostEq(b.Margin(), 9) {
+		t.Errorf("Margin = %v", b.Margin())
+	}
+	if b.Center() != V(1, 1.5, 2) {
+		t.Errorf("Center = %v", b.Center())
+	}
+	if b.LongestAxis() != 2 {
+		t.Errorf("LongestAxis = %v", b.LongestAxis())
+	}
+}
+
+func TestIntersectsTouching(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(1, 0, 0), V(2, 1, 1)) // shares the x=1 face
+	if !a.Intersects(b) {
+		t.Error("touching boxes must intersect (neighbor semantics)")
+	}
+	if a.IntersectsStrict(b) {
+		t.Error("touching boxes must not strictly intersect")
+	}
+	c := Box(V(1.001, 0, 0), V(2, 1, 1))
+	if a.Intersects(c) {
+		t.Error("disjoint boxes reported intersecting")
+	}
+}
+
+func TestContains(t *testing.T) {
+	outer := Box(V(0, 0, 0), V(10, 10, 10))
+	inner := Box(V(1, 1, 1), V(9, 9, 9))
+	if !outer.Contains(inner) {
+		t.Error("outer should contain inner")
+	}
+	if inner.Contains(outer) {
+		t.Error("inner should not contain outer")
+	}
+	if !outer.Contains(outer) {
+		t.Error("box should contain itself")
+	}
+	if !outer.ContainsPoint(V(10, 10, 10)) {
+		t.Error("boundary point should be contained")
+	}
+	if outer.ContainsPoint(V(10.0001, 10, 10)) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestIntersectionVolume(t *testing.T) {
+	a := Box(V(0, 0, 0), V(2, 2, 2))
+	b := Box(V(1, 1, 1), V(3, 3, 3))
+	if got := a.OverlapVolume(b); !almostEq(got, 1) {
+		t.Errorf("OverlapVolume = %v, want 1", got)
+	}
+	c := Box(V(5, 5, 5), V(6, 6, 6))
+	if got := a.OverlapVolume(c); got != 0 {
+		t.Errorf("disjoint OverlapVolume = %v, want 0", got)
+	}
+	if !a.Intersection(c).Empty() {
+		t.Error("disjoint Intersection should be empty")
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	b := Box(V(0, 0, 1), V(1, 1, 2))
+	if got := a.Enlargement(b); !almostEq(got, 1) {
+		t.Errorf("Enlargement = %v, want 1", got)
+	}
+	if got := a.Enlargement(a); got != 0 {
+		t.Errorf("self Enlargement = %v, want 0", got)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1)).Expand(0.5)
+	if a.Min != V(-0.5, -0.5, -0.5) || a.Max != V(1.5, 1.5, 1.5) {
+		t.Errorf("Expand = %v", a)
+	}
+}
+
+// Property: Union is commutative, associative and contains both operands.
+func TestUnionProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		a, b, c := randBox(r), randBox(r), randBox(r)
+		if a.Union(b) != b.Union(a) {
+			t.Fatal("Union not commutative")
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			t.Fatal("Union not associative")
+		}
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			t.Fatal("Union does not contain operands")
+		}
+	}
+}
+
+// Property: Intersects is symmetric and consistent with Intersection
+// emptiness; Contains implies Intersects.
+func TestIntersectionProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a, b := randBox(r), randBox(r)
+		if a.Intersects(b) != b.Intersects(a) {
+			t.Fatal("Intersects not symmetric")
+		}
+		if a.Intersects(b) == a.Intersection(b).Empty() {
+			t.Fatal("Intersects inconsistent with Intersection emptiness")
+		}
+		if a.Contains(b) && !a.Intersects(b) {
+			t.Fatal("Contains without Intersects")
+		}
+	}
+}
+
+// Property (via testing/quick): for any two points, Box(a,b) contains both
+// corner points and has non-negative volume.
+func TestBoxQuick(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V(ax, ay, az), V(bx, by, bz)
+		box := Box(a, b)
+		return box.ContainsPoint(a) && box.ContainsPoint(b) && box.Volume() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: center of a random box is inside it, and Volume matches the
+// product of Size components.
+func TestCenterInsideQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		b := randBox(r)
+		if !b.ContainsPoint(b.Center()) {
+			t.Fatal("center not contained")
+		}
+		s := b.Size()
+		if !almostEq(b.Volume(), s.X*s.Y*s.Z) {
+			t.Fatal("volume mismatch")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package hilbert
+
+import (
+	"math/rand"
+	"testing"
+
+	"flat/internal/geom"
+)
+
+func TestEncodeDecodeRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		x := r.Uint32() & (maxCoord - 1)
+		y := r.Uint32() & (maxCoord - 1)
+		z := r.Uint32() & (maxCoord - 1)
+		d := Encode3(x, y, z)
+		gx, gy, gz := Decode3(d)
+		if gx != x || gy != y || gz != z {
+			t.Fatalf("roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, d, gx, gy, gz)
+		}
+	}
+}
+
+// hilbertStep encodes (x,y,z) on a small 3-bit-per-dim curve by rescaling
+// coordinates into the high bits, so we can exhaustively check curve
+// properties on an 8x8x8 grid.
+func smallKey(x, y, z uint32) uint64 {
+	const shift = Bits - 3
+	return Encode3(x<<shift, y<<shift, z<<shift)
+}
+
+// TestCurveIsBijectiveOnGrid checks that on an 8^3 grid (using the top 3
+// bits of each dimension) all cells receive distinct, dense keys.
+func TestCurveIsBijectiveOnGrid(t *testing.T) {
+	seen := make(map[uint64][3]uint32, 512)
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			for z := uint32(0); z < 8; z++ {
+				d := smallKey(x, y, z)
+				if prev, dup := seen[d]; dup {
+					t.Fatalf("key collision: (%d,%d,%d) and %v -> %d", x, y, z, prev, d)
+				}
+				seen[d] = [3]uint32{x, y, z}
+			}
+		}
+	}
+	if len(seen) != 512 {
+		t.Fatalf("expected 512 distinct keys, got %d", len(seen))
+	}
+}
+
+// TestCurveAdjacency verifies the defining Hilbert property: consecutive
+// positions along the curve are adjacent grid cells (unit Manhattan
+// distance). We walk the full 8^3 curve via Decode3 on rescaled keys.
+func TestCurveAdjacency(t *testing.T) {
+	const shift = Bits - 3
+	// Collect the 512 cells in curve order by sorting via key map.
+	order := make([][3]uint32, 512)
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			for z := uint32(0); z < 8; z++ {
+				d := smallKey(x, y, z)
+				// The top 9 bits of the 63-bit key enumerate the coarse curve.
+				idx := d >> uint(3*shift)
+				if idx >= 512 {
+					t.Fatalf("coarse index %d out of range", idx)
+				}
+				order[idx] = [3]uint32{x, y, z}
+			}
+		}
+	}
+	for i := 1; i < 512; i++ {
+		a, b := order[i-1], order[i]
+		dist := manhattan(a, b)
+		if dist != 1 {
+			t.Fatalf("cells %v and %v at positions %d,%d have distance %d", a, b, i-1, i, dist)
+		}
+	}
+}
+
+func manhattan(a, b [3]uint32) uint32 {
+	var d uint32
+	for i := 0; i < 3; i++ {
+		if a[i] > b[i] {
+			d += a[i] - b[i]
+		} else {
+			d += b[i] - a[i]
+		}
+	}
+	return d
+}
+
+func TestEncodeMasksOutOfRange(t *testing.T) {
+	// Coordinates beyond Bits bits are masked, not panicking.
+	d1 := Encode3(maxCoord, 0, 0) // == Encode3(0,0,0) after masking
+	d2 := Encode3(0, 0, 0)
+	if d1 != d2 {
+		t.Errorf("masking failed: %d != %d", d1, d2)
+	}
+}
+
+func TestQuantizerClamps(t *testing.T) {
+	world := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10))
+	q := NewQuantizer(world)
+	x, y, z := q.Cell(geom.V(-5, 11, 5))
+	if x != 0 {
+		t.Errorf("below-range x = %d, want 0", x)
+	}
+	if y != maxCoord-1 {
+		t.Errorf("above-range y = %d, want %d", y, maxCoord-1)
+	}
+	if z != maxCoord/2 {
+		t.Errorf("mid z = %d, want %d", z, maxCoord/2)
+	}
+}
+
+func TestQuantizerDegenerateAxis(t *testing.T) {
+	world := geom.Box(geom.V(0, 0, 0), geom.V(10, 0, 10)) // flat in y
+	q := NewQuantizer(world)
+	_, y, _ := q.Cell(geom.V(5, 123, 5))
+	if y != 0 {
+		t.Errorf("degenerate axis cell = %d, want 0", y)
+	}
+}
+
+// TestQuantizerLocality: nearby points receive nearby keys more often
+// than far-apart points — a statistical sanity check of the curve's
+// locality preservation, which is the entire reason the Hilbert R-tree
+// uses it.
+func TestQuantizerLocality(t *testing.T) {
+	world := geom.Box(geom.V(0, 0, 0), geom.V(100, 100, 100))
+	q := NewQuantizer(world)
+	r := rand.New(rand.NewSource(17))
+	var sumNear, sumFar float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p := geom.V(r.Float64()*90+5, r.Float64()*90+5, r.Float64()*90+5)
+		near := p.Add(geom.V(0.1, 0.1, 0.1))
+		far := geom.V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+		kp, kn, kf := q.Key(p), q.Key(near), q.Key(far)
+		sumNear += absDiff(kp, kn)
+		sumFar += absDiff(kp, kf)
+	}
+	if sumNear >= sumFar/4 {
+		t.Errorf("locality too weak: near avg %g vs far avg %g", sumNear/n, sumFar/n)
+	}
+}
+
+func absDiff(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+func TestKeyOfMBR(t *testing.T) {
+	world := geom.Box(geom.V(0, 0, 0), geom.V(10, 10, 10))
+	q := NewQuantizer(world)
+	m := geom.Box(geom.V(2, 2, 2), geom.V(4, 4, 4))
+	if q.KeyOfMBR(m) != q.Key(geom.V(3, 3, 3)) {
+		t.Error("KeyOfMBR should hash the center")
+	}
+}
+
+func BenchmarkEncode3(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]uint32, 1024)
+	for i := range xs {
+		xs[i] = r.Uint32() & (maxCoord - 1)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Encode3(xs[i%1024], xs[(i+1)%1024], xs[(i+2)%1024])
+	}
+	_ = sink
+}

@@ -1,0 +1,51 @@
+package hilbert
+
+import "flat/internal/geom"
+
+// Quantizer maps points in a world bounding box to Hilbert keys. The box
+// is divided into 2^Bits cells per dimension; points on or outside the
+// boundary clamp to the nearest cell.
+type Quantizer struct {
+	origin geom.Vec3
+	scale  geom.Vec3 // cells per unit length, per axis
+}
+
+// NewQuantizer returns a quantizer for the given world box. Degenerate
+// axes (zero extent) map every coordinate to cell 0.
+func NewQuantizer(world geom.MBR) Quantizer {
+	size := world.Size()
+	var scale geom.Vec3
+	for i := 0; i < 3; i++ {
+		if s := size.Axis(i); s > 0 {
+			scale = scale.SetAxis(i, float64(maxCoord)/s)
+		}
+	}
+	return Quantizer{origin: world.Min, scale: scale}
+}
+
+// Cell returns the quantized coordinates of p.
+func (q Quantizer) Cell(p geom.Vec3) (x, y, z uint32) {
+	return q.axis(p, 0), q.axis(p, 1), q.axis(p, 2)
+}
+
+func (q Quantizer) axis(p geom.Vec3, i int) uint32 {
+	v := (p.Axis(i) - q.origin.Axis(i)) * q.scale.Axis(i)
+	if v <= 0 {
+		return 0
+	}
+	c := uint32(v)
+	if c >= maxCoord {
+		return maxCoord - 1
+	}
+	return c
+}
+
+// Key returns the Hilbert key of point p.
+func (q Quantizer) Key(p geom.Vec3) uint64 {
+	x, y, z := q.Cell(p)
+	return Encode3(x, y, z)
+}
+
+// KeyOfMBR returns the Hilbert key of the center of box m — the sort key
+// the Hilbert R-tree assigns to a spatial element.
+func (q Quantizer) KeyOfMBR(m geom.MBR) uint64 { return q.Key(m.Center()) }

@@ -1,0 +1,200 @@
+package neuro
+
+import (
+	"testing"
+
+	"flat/internal/geom"
+)
+
+func TestGenerateMeetsTarget(t *testing.T) {
+	m := Generate(Config{Seed: 1, TargetElements: 5000, SegmentsPerNeuron: 500})
+	if len(m.Elements) != 5000 {
+		t.Fatalf("elements = %d, want 5000", len(m.Elements))
+	}
+	if len(m.Cylinders) != 5000 || len(m.NeuronOf) != 5000 {
+		t.Fatal("parallel slices out of sync")
+	}
+	if m.Neurons < 5 {
+		t.Errorf("expected ~10 neurons, got %d", m.Neurons)
+	}
+}
+
+func TestElementsMatchCylinders(t *testing.T) {
+	m := Generate(Config{Seed: 2, TargetElements: 2000, SegmentsPerNeuron: 400})
+	for i, e := range m.Elements {
+		if e.ID != uint64(i) {
+			t.Fatalf("element %d has ID %d", i, e.ID)
+		}
+		if e.Box != m.Cylinders[i].MBR() {
+			t.Fatalf("element %d box mismatch", i)
+		}
+	}
+}
+
+func TestSegmentsStayNearVolume(t *testing.T) {
+	m := Generate(Config{Seed: 3, TargetElements: 10000})
+	// Segment axis end points must lie inside the tissue volume; the MBR
+	// may stick out by at most the radius (~1.2 µm).
+	grown := m.Volume.Expand(3)
+	for i, c := range m.Cylinders {
+		if !m.Volume.ContainsPoint(c.A) || !m.Volume.ContainsPoint(c.B) {
+			t.Fatalf("segment %d endpoint outside volume: %v %v", i, c.A, c.B)
+		}
+		if !grown.Contains(m.Elements[i].Box) {
+			t.Fatalf("segment %d MBR far outside volume", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 42, TargetElements: 3000})
+	b := Generate(Config{Seed: 42, TargetElements: 3000})
+	if a.Neurons != b.Neurons {
+		t.Fatal("neuron counts differ")
+	}
+	for i := range a.Cylinders {
+		if a.Cylinders[i] != b.Cylinders[i] {
+			t.Fatalf("cylinder %d differs", i)
+		}
+	}
+	c := Generate(Config{Seed: 43, TargetElements: 3000})
+	same := true
+	for i := range a.Cylinders {
+		if a.Cylinders[i] != c.Cylinders[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical models")
+	}
+}
+
+func TestSegmentsAreContiguous(t *testing.T) {
+	// Fibers are chains: most consecutive same-neuron segments share an
+	// end point (B of one == A of the next), which is what makes the
+	// "crawl along a fiber" use case meaningful.
+	m := Generate(Config{Seed: 5, TargetElements: 4000, SegmentsPerNeuron: 800})
+	chained, total := 0, 0
+	for i := 1; i < len(m.Cylinders); i++ {
+		if m.NeuronOf[i] != m.NeuronOf[i-1] {
+			continue
+		}
+		total++
+		if m.Cylinders[i].A == m.Cylinders[i-1].B {
+			chained++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no same-neuron consecutive pairs")
+	}
+	if frac := float64(chained) / float64(total); frac < 0.7 {
+		t.Errorf("only %.0f%% of consecutive segments are chained", frac*100)
+	}
+}
+
+func TestSegmentLengths(t *testing.T) {
+	m := Generate(Config{Seed: 6, TargetElements: 5000, MeanSegmentLength: 2})
+	var sum float64
+	for _, c := range m.Cylinders {
+		l := c.Length()
+		// Long-jump axon shafts reach up to ~2*1.5*5 = 15x the mean.
+		if l <= 0 || l > 40 {
+			t.Fatalf("segment length %g out of plausible range", l)
+		}
+		sum += l
+	}
+	mean := sum / float64(len(m.Cylinders))
+	if mean < 1 || mean > 5 {
+		t.Errorf("mean segment length %g, want around 2-3", mean)
+	}
+}
+
+func TestRadiiConfigurable(t *testing.T) {
+	m := Generate(Config{Seed: 6, TargetElements: 2000, DendriteRadius: 0.5, AxonRadius: 0.25})
+	maxR := 0.0
+	for _, c := range m.Cylinders {
+		if c.RadA > maxR {
+			maxR = c.RadA
+		}
+	}
+	// Apical trunks are 1.5x the dendrite radius.
+	if maxR > 0.75+1e-9 || maxR < 0.5 {
+		t.Errorf("max radius %g, want in (0.5, 0.75]", maxR)
+	}
+}
+
+func TestDensityScalesWithTarget(t *testing.T) {
+	lo := Generate(Config{Seed: 7, TargetElements: 2000})
+	hi := Generate(Config{Seed: 7, TargetElements: 8000})
+	if lo.Volume != hi.Volume {
+		t.Fatal("volume should be constant across densities")
+	}
+	ratio := hi.Density() / lo.Density()
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("density ratio = %g, want 4", ratio)
+	}
+}
+
+func TestVolumeFilledBroadly(t *testing.T) {
+	// The model must fill the tissue volume, not huddle in a corner:
+	// check occupancy of a 4x4x4 grid of subcells.
+	m := Generate(Config{Seed: 8, TargetElements: 20000})
+	const g = 4
+	var occupied [g * g * g]bool
+	s := m.Volume.Size()
+	for _, e := range m.Elements {
+		c := e.Box.Center()
+		ix := cellIdx(c.X, m.Volume.Min.X, s.X, g)
+		iy := cellIdx(c.Y, m.Volume.Min.Y, s.Y, g)
+		iz := cellIdx(c.Z, m.Volume.Min.Z, s.Z, g)
+		occupied[ix*g*g+iy*g+iz] = true
+	}
+	n := 0
+	for _, o := range occupied {
+		if o {
+			n++
+		}
+	}
+	if n < g*g*g*3/4 {
+		t.Errorf("only %d of %d subcells occupied", n, g*g*g)
+	}
+}
+
+func cellIdx(v, lo, extent float64, g int) int {
+	i := int((v - lo) / extent * float64(g))
+	if i < 0 {
+		i = 0
+	}
+	if i >= g {
+		i = g - 1
+	}
+	return i
+}
+
+func TestFiberPoints(t *testing.T) {
+	m := Generate(Config{Seed: 9, TargetElements: 3000, SegmentsPerNeuron: 600})
+	pts := m.FiberPoints(0)
+	if len(pts) < 100 {
+		t.Fatalf("neuron 0 has only %d fiber points", len(pts))
+	}
+	for _, p := range pts {
+		if !m.Volume.ContainsPoint(p) {
+			t.Fatalf("fiber point %v outside volume", p)
+		}
+	}
+	if got := m.FiberPoints(m.Neurons + 5); got != nil {
+		t.Error("nonexistent neuron should have no fiber points")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	want := geom.Box(geom.V(0, 0, 0), geom.V(DefaultVolumeSide, DefaultVolumeSide, DefaultVolumeSide))
+	if cfg.Volume != want {
+		t.Errorf("default volume = %v", cfg.Volume)
+	}
+	if cfg.TargetElements == 0 || cfg.SegmentsPerNeuron == 0 || cfg.MeanSegmentLength == 0 {
+		t.Error("defaults not applied")
+	}
+}

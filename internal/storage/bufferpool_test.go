@@ -1,0 +1,205 @@
+package storage
+
+import "testing"
+
+func newPoolWithPages(t *testing.T, n int, capacity int) (*BufferPool, []PageID) {
+	t.Helper()
+	p := NewMemPager()
+	pool := NewBufferPool(p, capacity)
+	ids := make([]PageID, n)
+	buf := make([]byte, PageSize)
+	for i := range ids {
+		id, err := p.Alloc(CatObject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(i)
+		if err := p.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return pool, ids
+}
+
+func TestBufferPoolCountsMissesOnly(t *testing.T) {
+	pool, ids := newPoolWithPages(t, 3, 0)
+	for i := 0; i < 5; i++ {
+		if _, err := pool.Read(ids[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pool.Stats().Reads[CatObject]; got != 1 {
+		t.Errorf("repeated reads counted %d misses, want 1", got)
+	}
+	if _, err := pool.Read(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.Stats().TotalReads(); got != 2 {
+		t.Errorf("TotalReads = %d, want 2", got)
+	}
+}
+
+func TestBufferPoolLRUEviction(t *testing.T) {
+	pool, ids := newPoolWithPages(t, 3, 2)
+	pool.Read(ids[0])
+	pool.Read(ids[1])
+	pool.Read(ids[0]) // 0 is now MRU
+	pool.Read(ids[2]) // evicts 1
+	if !pool.Cached(ids[0]) {
+		t.Error("page 0 should still be cached")
+	}
+	if pool.Cached(ids[1]) {
+		t.Error("page 1 should have been evicted")
+	}
+	if !pool.Cached(ids[2]) {
+		t.Error("page 2 should be cached")
+	}
+	if pool.Len() != 2 {
+		t.Errorf("Len = %d, want 2", pool.Len())
+	}
+	// Re-reading the evicted page is a miss again.
+	before := pool.Stats().TotalReads()
+	pool.Read(ids[1])
+	if got := pool.Stats().TotalReads(); got != before+1 {
+		t.Errorf("evicted page re-read not counted")
+	}
+}
+
+func TestBufferPoolResetMakesQueriesCold(t *testing.T) {
+	pool, ids := newPoolWithPages(t, 2, 0)
+	pool.Read(ids[0])
+	pool.Read(ids[1])
+	if pool.Stats().TotalReads() != 2 {
+		t.Fatal("setup")
+	}
+	pool.Reset()
+	if pool.Stats().TotalReads() != 0 {
+		t.Error("Reset did not clear stats")
+	}
+	if pool.Len() != 0 {
+		t.Error("Reset did not clear frames")
+	}
+	pool.Read(ids[0])
+	if pool.Stats().TotalReads() != 1 {
+		t.Error("read after Reset should be a cold miss")
+	}
+}
+
+func TestBufferPoolDropFramesKeepsCounters(t *testing.T) {
+	pool, ids := newPoolWithPages(t, 1, 0)
+	pool.Read(ids[0])
+	pool.DropFrames()
+	if pool.Stats().TotalReads() != 1 {
+		t.Error("DropFrames cleared counters")
+	}
+	pool.Read(ids[0])
+	if pool.Stats().TotalReads() != 2 {
+		t.Error("read after DropFrames should be cold")
+	}
+}
+
+func TestBufferPoolWriteThrough(t *testing.T) {
+	p := NewMemPager()
+	pool := NewBufferPool(p, 0)
+	id, _ := pool.Alloc(CatMetadata)
+	src := make([]byte, PageSize)
+	src[5] = 42
+	if err := pool.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Stats().Writes[CatMetadata] != 1 {
+		t.Error("write not counted")
+	}
+	// Underlying pager sees the bytes.
+	dst := make([]byte, PageSize)
+	if err := p.ReadPage(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[5] != 42 {
+		t.Error("write-through failed")
+	}
+	// The write also primed the cache: reading is not a miss.
+	before := pool.Stats().TotalReads()
+	got, err := pool.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != 42 {
+		t.Error("cached read returned stale data")
+	}
+	if pool.Stats().TotalReads() != before {
+		t.Error("read after write should hit cache")
+	}
+	// Overwriting an already-cached page updates the frame in place.
+	src[5] = 43
+	if err := pool.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = pool.Read(id)
+	if got[5] != 43 {
+		t.Error("cached frame not updated by second write")
+	}
+}
+
+func TestBufferPoolReadError(t *testing.T) {
+	pool := NewBufferPool(NewMemPager(), 0)
+	if _, err := pool.Read(123); err == nil {
+		t.Error("reading unallocated page should fail")
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	var a, b Stats
+	a.Reads[CatObject] = 10
+	a.Reads[CatMetadata] = 4
+	a.Writes[CatObject] = 2
+	b.Reads[CatObject] = 3
+	d := a.Sub(b)
+	if d.Reads[CatObject] != 7 || d.Reads[CatMetadata] != 4 {
+		t.Errorf("Sub wrong: %+v", d)
+	}
+	var c Stats
+	c.Add(a)
+	c.Add(b)
+	if c.Reads[CatObject] != 13 {
+		t.Errorf("Add wrong: %+v", c)
+	}
+	if a.TotalReads() != 14 || a.TotalWrites() != 2 {
+		t.Errorf("totals wrong: %d %d", a.TotalReads(), a.TotalWrites())
+	}
+	if a.BytesRead() != 14*PageSize {
+		t.Errorf("BytesRead = %d", a.BytesRead())
+	}
+	if a.BytesReadBy(CatMetadata) != 4*PageSize {
+		t.Errorf("BytesReadBy = %d", a.BytesReadBy(CatMetadata))
+	}
+	a.Reset()
+	if a.TotalReads() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestStatsLeafNonLeafSplit(t *testing.T) {
+	var s Stats
+	s.Reads[CatRTreeLeaf] = 5
+	s.Reads[CatObject] = 7
+	s.Reads[CatRTreeInternal] = 2
+	s.Reads[CatSeedInternal] = 1
+	s.Reads[CatMetadata] = 3
+	if s.LeafReads() != 12 {
+		t.Errorf("LeafReads = %d", s.LeafReads())
+	}
+	if s.NonLeafReads() != 6 {
+		t.Errorf("NonLeafReads = %d", s.NonLeafReads())
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	var s Stats
+	s.Reads[CatObject] = 2
+	got := s.String()
+	if got != "reads{object:2} total=2" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// FilePager is a Pager backed by a real file of 4 KiB pages. It is used by
+// the CLI tools (cmd/flatindex) to persist indexes, and can be swapped
+// into the benchmark harness to run against a physical disk.
+//
+// Page categories are kept in memory only; they are a measurement aid, not
+// part of the persistent format (one byte per page, rebuilt on open as
+// CatUnknown unless the owning index re-registers them).
+type FilePager struct {
+	f     *os.File
+	n     uint64
+	cats  []Category
+	wbuf  []byte // scratch, avoids per-call allocation for zero fill
+	dirty bool
+}
+
+// CreateFilePager creates (truncating) a page file at path.
+func CreateFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create page file: %w", err)
+	}
+	return &FilePager{f: f, wbuf: make([]byte, PageSize)}, nil
+}
+
+// OpenFilePager opens an existing page file at path. The number of pages
+// is derived from the file size, which must be a multiple of PageSize.
+func OpenFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open page file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat page file: %w", err)
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: page file size %d not a multiple of %d", st.Size(), PageSize)
+	}
+	n := uint64(st.Size() / PageSize)
+	return &FilePager{f: f, n: n, cats: make([]Category, n), wbuf: make([]byte, PageSize)}, nil
+}
+
+// Alloc implements Pager.
+func (p *FilePager) Alloc(cat Category) (PageID, error) {
+	id := PageID(p.n)
+	for i := range p.wbuf {
+		p.wbuf[i] = 0
+	}
+	if _, err := p.f.WriteAt(p.wbuf, int64(id)*PageSize); err != nil {
+		return InvalidPage, fmt.Errorf("storage: extend page file: %w", err)
+	}
+	p.n++
+	p.cats = append(p.cats, cat)
+	p.dirty = true
+	return id, nil
+}
+
+// ReadPage implements Pager.
+func (p *FilePager) ReadPage(id PageID, dst []byte) error {
+	if err := checkBuf(dst, "read"); err != nil {
+		return err
+	}
+	if uint64(id) >= p.n {
+		return ErrPageOutOfRange
+	}
+	if _, err := p.f.ReadAt(dst[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage implements Pager.
+func (p *FilePager) WritePage(id PageID, src []byte) error {
+	if err := checkBuf(src, "write"); err != nil {
+		return err
+	}
+	if uint64(id) >= p.n {
+		return ErrPageOutOfRange
+	}
+	if _, err := p.f.WriteAt(src[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	p.dirty = true
+	return nil
+}
+
+// CategoryOf implements Pager.
+func (p *FilePager) CategoryOf(id PageID) Category {
+	if uint64(id) >= uint64(len(p.cats)) {
+		return CatUnknown
+	}
+	return p.cats[id]
+}
+
+// SetCategory re-tags a page after reopening a persisted file; indexes
+// call this from their open path so that measurement categories survive a
+// restart.
+func (p *FilePager) SetCategory(id PageID, cat Category) {
+	if uint64(id) < uint64(len(p.cats)) {
+		p.cats[id] = cat
+	}
+}
+
+// NumPages implements Pager.
+func (p *FilePager) NumPages() uint64 { return p.n }
+
+// Sync implements Pager.
+func (p *FilePager) Sync() error {
+	if !p.dirty {
+		return nil
+	}
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync page file: %w", err)
+	}
+	p.dirty = false
+	return nil
+}
+
+// Close implements Pager.
+func (p *FilePager) Close() error {
+	if err := p.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

@@ -1,0 +1,7 @@
+package storage
+
+import "os"
+
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}

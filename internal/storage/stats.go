@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats accumulates page-read and page-write counts per page category.
+// One page read corresponds to PageSize bytes retrieved from "disk" —
+// exactly the unit the paper reports in Figures 2, 12, 14–16, 18 and 19.
+type Stats struct {
+	Reads  [NumCategories]uint64
+	Writes [NumCategories]uint64
+}
+
+// TotalReads returns the number of page reads across all categories.
+func (s Stats) TotalReads() uint64 {
+	var t uint64
+	for _, v := range s.Reads {
+		t += v
+	}
+	return t
+}
+
+// TotalWrites returns the number of page writes across all categories.
+func (s Stats) TotalWrites() uint64 {
+	var t uint64
+	for _, v := range s.Writes {
+		t += v
+	}
+	return t
+}
+
+// BytesRead returns the total bytes retrieved from disk.
+func (s Stats) BytesRead() uint64 { return s.TotalReads() * PageSize }
+
+// BytesReadBy returns the bytes retrieved from disk for one category.
+func (s Stats) BytesReadBy(cat Category) uint64 { return s.Reads[cat] * PageSize }
+
+// LeafReads returns reads attributed to pages holding payload data
+// (R-tree leaves and FLAT object pages).
+func (s Stats) LeafReads() uint64 {
+	return s.Reads[CatRTreeLeaf] + s.Reads[CatObject]
+}
+
+// NonLeafReads returns reads attributed to structural overhead pages
+// (R-tree internal nodes, seed-tree internals and metadata pages).
+func (s Stats) NonLeafReads() uint64 {
+	return s.Reads[CatRTreeInternal] + s.Reads[CatSeedInternal] + s.Reads[CatMetadata]
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	for i := range s.Reads {
+		s.Reads[i] += o.Reads[i]
+		s.Writes[i] += o.Writes[i]
+	}
+}
+
+// Sub returns s - o, component-wise. It is used to compute per-query
+// deltas from cumulative counters.
+func (s Stats) Sub(o Stats) Stats {
+	var r Stats
+	for i := range s.Reads {
+		r.Reads[i] = s.Reads[i] - o.Reads[i]
+		r.Writes[i] = s.Writes[i] - o.Writes[i]
+	}
+	return r
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// String renders the non-zero read counters compactly, e.g.
+// "reads{object:12 metadata:3} total=15".
+func (s Stats) String() string {
+	var b strings.Builder
+	b.WriteString("reads{")
+	first := true
+	for c := Category(0); c < NumCategories; c++ {
+		if s.Reads[c] == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", c, s.Reads[c])
+		first = false
+	}
+	fmt.Fprintf(&b, "} total=%d", s.TotalReads())
+	return b.String()
+}
