@@ -11,6 +11,7 @@
 package flat_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -379,4 +380,57 @@ func BenchmarkFig23OtherQuery(b *testing.B) {
 		}
 		b.ReportMetric(float64(reads)/float64(b.N), "pages/op")
 	})
+}
+
+// BenchmarkThroughputWorkers measures aggregate query throughput at
+// increasing worker counts — the concurrent-serving axis beyond the
+// paper's single-threaded methodology. Each worker replays its share of
+// the LSS workload cold-per-query against a private page cache over the
+// shared pager (core.Index.WithPool), so per-query page reads are
+// identical at every worker count and the speedup comes purely from
+// overlapping independent queries. ops/sec here is queries/sec.
+func BenchmarkThroughputWorkers(b *testing.B) {
+	f := getFixture(b)
+	pager := f.flatPool.Pager()
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			views := make([]*core.Index, workers)
+			for w := range views {
+				views[w] = f.flat.WithPool(storage.NewBufferPool(pager, 0))
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					view := views[w]
+					pool := view.Pool()
+					for i := w; i < b.N; i += workers {
+						pool.DropFrames()
+						if _, _, err := view.CountQuery(f.lss[i%len(f.lss)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkRangeQueryAllocs measures per-query heap allocations on a
+// warm cache: the seed/crawl scratch (BFS queue, dedup maps) is recycled
+// through a sync.Pool, so steady-state queries should allocate only
+// their result slices.
+func BenchmarkRangeQueryAllocs(b *testing.B) {
+	f := getFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := f.flat.RangeQuery(f.sn[i%len(f.sn)]); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	flatbench -fig 12              # one experiment
-//	flatbench -fig 2,12,15 -v      # several, with progress logging
-//	flatbench -fig all -quick      # the full suite at smoke-test scale
-//	flatbench -fig all -csv out/   # also write each table as CSV
+//	flatbench -fig 12                      # one experiment
+//	flatbench -fig 2,12,15 -v              # several, with progress logging
+//	flatbench -fig all -quick              # the full suite at smoke-test scale
+//	flatbench -fig all -csv out/           # also write each table as CSV
+//	flatbench -fig throughput -workers 1,8 # concurrent-serving throughput
 //
 // See EXPERIMENTS.md for the experiment inventory and recorded results.
 package main
@@ -36,6 +37,7 @@ func main() {
 		densities = flag.String("densities", "", "comma-separated element counts (default 50000..450000)")
 		nodeCap   = flag.Int("nodecap", 0, "entries per node/page for all indexes (default 16; 0 keeps default)")
 		scale     = flag.Float64("otherscale", 0, "scale factor for the Section VIII data sets (default 1/200)")
+		workers   = flag.String("workers", "", "comma-separated worker counts for the throughput experiment (default 1,4,8,16)")
 		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
 	)
 	flag.Parse()
@@ -63,6 +65,16 @@ func main() {
 	if *scale > 0 {
 		cfg.OtherScale = *scale
 	}
+	if *workers != "" {
+		cfg.Workers = nil
+		for _, s := range strings.Split(*workers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fatalf("bad worker count %q", s)
+			}
+			cfg.Workers = append(cfg.Workers, n)
+		}
+	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -78,7 +90,9 @@ func main() {
 	} else {
 		for _, f := range strings.Split(*figs, ",") {
 			f = strings.TrimSpace(f)
-			if !strings.HasPrefix(f, "fig") {
+			// Bare figure numbers get the "fig" prefix; named experiments
+			// (ablation, throughput) pass through untouched.
+			if _, err := strconv.Atoi(f); err == nil {
 				f = "fig" + f
 			}
 			ids = append(ids, f)

@@ -33,10 +33,25 @@
 // Page reads are the library's cost model, mirroring the paper's
 // evaluation: every query reports how many 4 KiB pages it touched, split
 // into seed-tree, metadata and object pages (QueryStats).
+//
+// # Concurrency
+//
+// A built (or reopened) Index is immutable, and its query methods —
+// RangeQuery, CountQuery, PointQuery and the Batch variants — are safe
+// to call from any number of goroutines at once. Queries share one
+// lock-striped page cache; each query's QueryStats counts exactly the
+// cache misses that query caused (a page another query just fetched is a
+// free hit, as with a shared OS page cache). DropCache and Close are
+// maintenance operations: do not run them concurrently with queries.
+// BatchRangeQuery is the convenience entry point for fanning a query
+// batch over a worker pool.
 package flat
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"flat/internal/core"
 	"flat/internal/geom"
@@ -93,10 +108,11 @@ type Options struct {
 	BufferPages int
 }
 
-// Index is a built FLAT index.
+// Index is a built FLAT index. See the package documentation for its
+// concurrency guarantees.
 type Index struct {
 	inner *core.Index
-	pool  *storage.BufferPool
+	pool  *storage.ConcurrentPool
 	pager storage.Pager
 }
 
@@ -117,7 +133,7 @@ func Build(els []Element, opts *Options) (*Index, error) {
 	} else {
 		pager = storage.NewMemPager()
 	}
-	pool := storage.NewBufferPool(pager, o.BufferPages)
+	pool := storage.NewConcurrentPool(pager, o.BufferPages)
 	inner, err := core.Build(pool, els, core.Options{
 		PageCapacity: o.PageCapacity,
 		World:        o.World,
@@ -139,16 +155,29 @@ func Build(els []Element, opts *Options) (*Index, error) {
 	return &Index{inner: inner, pool: pool, pager: pager}, nil
 }
 
-// Open loads a previously built disk-backed index from its page file.
-// Queries on the reopened index behave identically to the freshly built
-// one; the build-time analysis accessors (AvgNeighbors) return zero, as
-// they are measurement aids not stored in the index.
+// Open loads a previously built disk-backed index from its page file
+// with an unbounded page cache. It is shorthand for
+// OpenWithOptions(path, nil).
 func Open(path string) (*Index, error) {
+	return OpenWithOptions(path, nil)
+}
+
+// OpenWithOptions loads a previously built disk-backed index from its
+// page file. Only Options.BufferPages is consulted: it bounds the page
+// cache the same way it does for Build (Path and the build-only knobs
+// are ignored). Queries on the reopened index behave identically to the
+// freshly built one; the build-time analysis accessors (AvgNeighbors)
+// return zero, as they are measurement aids not stored in the index.
+func OpenWithOptions(path string, opts *Options) (*Index, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
 	fp, err := storage.OpenFilePager(path)
 	if err != nil {
 		return nil, err
 	}
-	pool := storage.NewBufferPool(fp, 0)
+	pool := storage.NewConcurrentPool(fp, o.BufferPages)
 	inner, err := core.Open(pool)
 	if err != nil {
 		fp.Close()
@@ -158,20 +187,105 @@ func Open(path string) (*Index, error) {
 }
 
 // RangeQuery returns every indexed element whose MBR intersects q,
-// together with the query's page-read statistics.
+// together with the query's page-read statistics. It is safe for
+// concurrent use.
 func (ix *Index) RangeQuery(q MBR) ([]Element, QueryStats, error) {
 	return ix.inner.RangeQuery(q)
 }
 
 // CountQuery returns the number of elements intersecting q without
-// materializing them; the page access pattern is identical to RangeQuery.
+// materializing them; the page access pattern is identical to
+// RangeQuery. It is safe for concurrent use.
 func (ix *Index) CountQuery(q MBR) (int, QueryStats, error) {
 	return ix.inner.CountQuery(q)
 }
 
-// PointQuery returns the elements whose MBR contains p.
+// PointQuery returns the elements whose MBR contains p. It is safe for
+// concurrent use.
 func (ix *Index) PointQuery(p Vec3) ([]Element, QueryStats, error) {
 	return ix.inner.RangeQuery(geom.PointBox(p))
+}
+
+// BatchResult is one query's output within a BatchRangeQuery.
+type BatchResult struct {
+	Elements []Element
+	Stats    QueryStats
+}
+
+// BatchRangeQuery executes the queries concurrently on a pool of workers
+// goroutines and returns per-query results in input order. A workers
+// value <= 0 uses GOMAXPROCS. All workers share the index's page cache;
+// each result's Stats counts the cache misses its own query caused, so
+// summing them gives the batch's aggregate page reads. A query error
+// aborts the batch and one failing query's error is returned (when
+// several fail near-simultaneously, which one is arbitrary;
+// already-finished results are kept).
+func (ix *Index) BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, error) {
+	out := make([]BatchResult, len(queries))
+	err := ix.runBatch(len(queries), workers, func(i int) error {
+		els, st, err := ix.inner.RangeQuery(queries[i])
+		out[i] = BatchResult{Elements: els, Stats: st}
+		return err
+	})
+	return out, err
+}
+
+// BatchCountQuery is BatchRangeQuery without materializing result
+// elements: it returns each query's hit count and stats in input order.
+func (ix *Index) BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStats, error) {
+	counts := make([]int, len(queries))
+	stats := make([]QueryStats, len(queries))
+	err := ix.runBatch(len(queries), workers, func(i int) error {
+		n, st, err := ix.inner.CountQuery(queries[i])
+		counts[i], stats[i] = n, st
+		return err
+	})
+	return counts, stats, err
+}
+
+// runBatch fans n independent work items over a worker pool. Workers
+// pull the next item from an atomic cursor, so an expensive query does
+// not stall the rest of the batch behind a static partition.
+func (ix *Index) runBatch(n, workers int, run func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		errs   = make([]error, workers)
+		failed atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Len returns the number of indexed elements.
@@ -200,6 +314,9 @@ func (ix *Index) AvgNeighbors() float64 { return ix.inner.AvgNeighbors() }
 
 // DropCache empties the page cache so the next query starts cold — the
 // equivalent of the paper's clearing of OS caches between measurements.
+// It is a maintenance operation: do not call it while queries are in
+// flight (a concurrent query would see a partially dropped cache and
+// report inflated read counts).
 func (ix *Index) DropCache() { ix.pool.DropFrames() }
 
 // String summarizes the index.

@@ -1,0 +1,3 @@
+module flat
+
+go 1.24

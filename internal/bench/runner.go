@@ -53,6 +53,9 @@ type Config struct {
 	// OtherScale scales the Section VIII data-set sizes (paper: 12.4M to
 	// 252M elements). Default 1/200.
 	OtherScale float64
+	// Workers is the worker-count sweep of the concurrent-throughput
+	// experiment. Default {1, 4, 8, 16}.
+	Workers []int
 	// Seed drives every generator.
 	Seed int64
 }
@@ -68,6 +71,7 @@ func DefaultConfig() Config {
 		LSSFraction:       5e-3,
 		SegmentsPerNeuron: 1500,
 		OtherScale:        1.0 / 200,
+		Workers:           []int{1, 4, 8, 16},
 		Seed:              1,
 	}
 }
@@ -341,4 +345,6 @@ var registry = map[string]func(*Runner) ([]*Table, error){
 	"fig22":    (*Runner).fig22,
 	"ablation": (*Runner).ablation,
 	"fig23":    (*Runner).fig23,
+	// Beyond the paper: the concurrent-serving axis.
+	"throughput": (*Runner).throughput,
 }

@@ -25,10 +25,11 @@ var ErrEmpty = errors.New("core: cannot build an empty FLAT index")
 //  3. Write the object pages, pack the metadata records into seed-tree
 //     leaf pages, and build the seed tree's internal levels above them.
 //
-// els is reordered in place by the STR pass. The supplied buffer pool
-// receives all of the index's pages; queries account their page reads
-// against it.
-func Build(pool *storage.BufferPool, els []geom.Element, opts Options) (*Index, error) {
+// els is reordered in place by the STR pass. The supplied pool receives
+// all of the index's pages; queries account their page reads against it.
+// Build itself is single-threaded; pass a storage.ConcurrentPool to make
+// the finished index's query methods safe for concurrent use.
+func Build(pool storage.Pool, els []geom.Element, opts Options) (*Index, error) {
 	if len(els) == 0 {
 		return nil, ErrEmpty
 	}

@@ -71,10 +71,14 @@ type BuildStats struct {
 }
 
 // Index is a built FLAT index. All page access during queries goes
-// through the BufferPool supplied at build time, so the harness can
+// through the storage.Pool supplied at build time, so the harness can
 // measure exactly the page reads the paper reports.
+//
+// The index itself is immutable after Build/Open: every query method is
+// safe for concurrent use when the pool is (storage.ConcurrentPool); with
+// a plain BufferPool, queries must be serialized by the caller.
 type Index struct {
-	pool *storage.BufferPool
+	pool storage.Pool
 
 	seedRoot   storage.PageID
 	seedHeight int // levels including the metadata (leaf) level
@@ -127,8 +131,21 @@ func (ix *Index) SizeBytes() uint64 {
 // BuildStats returns the construction-time breakdown.
 func (ix *Index) BuildStats() BuildStats { return ix.build }
 
-// Pool returns the buffer pool the index reads through.
-func (ix *Index) Pool() *storage.BufferPool { return ix.pool }
+// Pool returns the page pool the index reads through.
+func (ix *Index) Pool() storage.Pool { return ix.pool }
+
+// WithPool returns a shallow view of the index that performs its page
+// reads through pool, which must wrap the same pager (or an identically
+// laid-out one). Views share all immutable index state with the
+// original; they exist so parallel benchmark workers can each run the
+// paper's cold-per-query methodology against a private cache — giving
+// every query the exact single-threaded page-read counts — without any
+// cross-worker synchronization.
+func (ix *Index) WithPool(pool storage.Pool) *Index {
+	cp := *ix
+	cp.pool = pool
+	return &cp
+}
 
 // NeighborHistogram returns how many partitions have each neighbor-
 // pointer count — the distribution of the paper's Figure 20.

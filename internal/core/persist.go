@@ -55,10 +55,10 @@ func (ix *Index) WriteSuper() error {
 }
 
 // Open restores an index from a pager whose last page is a superblock
-// written by WriteSuper. The supplied buffer pool must wrap that pager.
+// written by WriteSuper. The supplied pool must wrap that pager.
 // When the pager is a *storage.FilePager, Open re-registers the page
 // categories (they are measurement metadata, not persisted per page).
-func Open(pool *storage.BufferPool) (*Index, error) {
+func Open(pool storage.Pool) (*Index, error) {
 	pager := pool.Pager()
 	n := pager.NumPages()
 	if n == 0 {

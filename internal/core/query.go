@@ -1,14 +1,18 @@
 package core
 
 import (
+	"sync"
+
 	"flat/internal/geom"
 	"flat/internal/rtree"
 	"flat/internal/storage"
 )
 
 // QueryStats describes one range-query execution. Page-read counts are
-// deltas of the buffer pool's counters over the query, broken down by
-// page category the way the paper's Figure 14/18 breakdowns are.
+// the cache misses this query itself caused, tallied locally through
+// storage.Pool.ReadInto (never by diffing the pool's shared counters,
+// which would race under concurrency), broken down by page category the
+// way the paper's Figure 14/18 breakdowns are.
 type QueryStats struct {
 	Results        int    // elements in the result set
 	RecordsVisited int    // metadata records dequeued by the BFS
@@ -38,26 +42,60 @@ func (ix *Index) CountQuery(q geom.MBR) (int, QueryStats, error) {
 	return n, stats, err
 }
 
-func (ix *Index) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) {
-	before := ix.pool.Stats()
-	var st QueryStats
+// seedItem is one pending seed-tree node during the seed descent.
+type seedItem struct {
+	page  storage.PageID
+	level int // 1 = metadata page
+}
 
-	seedRef, ok, err := ix.seed(q)
-	if err != nil {
-		return st, err
-	}
-	if ok {
-		if err := ix.crawl(q, seedRef, emit, &st); err != nil {
-			return st, err
+// crawlScratch holds the reusable per-query state: the seed descent
+// stack plus the crawl's BFS queue and dedup maps. Allocating these maps
+// fresh on every query is the dominant heap churn on the hot path, so
+// queries borrow a scratch from a sync.Pool and return it cleared.
+type crawlScratch struct {
+	stack    []seedItem
+	queue    []RecordRef
+	enqueued map[RecordRef]bool
+	visited  map[storage.PageID]bool
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &crawlScratch{
+			enqueued: make(map[RecordRef]bool),
+			visited:  make(map[storage.PageID]bool),
 		}
-	}
+	},
+}
 
-	delta := ix.pool.Stats().Sub(before)
-	st.SeedReads = delta.Reads[storage.CatSeedInternal]
-	st.MetadataReads = delta.Reads[storage.CatMetadata]
-	st.ObjectReads = delta.Reads[storage.CatObject]
-	st.TotalReads = delta.TotalReads()
-	return st, nil
+func getScratch() *crawlScratch { return scratchPool.Get().(*crawlScratch) }
+
+func (sc *crawlScratch) release() {
+	clear(sc.enqueued)
+	clear(sc.visited)
+	sc.stack = sc.stack[:0]
+	sc.queue = sc.queue[:0]
+	scratchPool.Put(sc)
+}
+
+func (ix *Index) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) {
+	var st QueryStats
+	// Per-query accounting is collected locally via ReadInto rather than
+	// by diffing the pool's shared counters, which would attribute other
+	// queries' reads to this one when several run concurrently.
+	var local storage.Stats
+	sc := getScratch()
+	defer sc.release()
+
+	seedRef, ok, err := ix.seed(q, sc, &local)
+	if err == nil && ok {
+		err = ix.crawl(q, seedRef, emit, &st, sc, &local)
+	}
+	st.SeedReads = local.Reads[storage.CatSeedInternal]
+	st.MetadataReads = local.Reads[storage.CatMetadata]
+	st.ObjectReads = local.Reads[storage.CatObject]
+	st.TotalReads = local.TotalReads()
+	return st, err
 }
 
 // seed walks the seed tree depth-first, pruned by q, until it finds a
@@ -66,16 +104,12 @@ func (ix *Index) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) 
 // time and stops at the first hit, so its cost is in the order of the
 // seed-tree height; only for nearly-empty queries does it inspect
 // several leaves before concluding the result is empty.
-func (ix *Index) seed(q geom.MBR) (RecordRef, bool, error) {
-	type item struct {
-		page  storage.PageID
-		level int // 1 = metadata page
-	}
-	stack := []item{{ix.seedRoot, ix.seedHeight}}
-	for len(stack) > 0 {
-		it := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		page, err := ix.pool.Read(it.page)
+func (ix *Index) seed(q geom.MBR, sc *crawlScratch, local *storage.Stats) (RecordRef, bool, error) {
+	sc.stack = append(sc.stack[:0], seedItem{ix.seedRoot, ix.seedHeight})
+	for len(sc.stack) > 0 {
+		it := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		page, err := ix.pool.ReadInto(it.page, local)
 		if err != nil {
 			return 0, false, err
 		}
@@ -83,7 +117,7 @@ func (ix *Index) seed(q geom.MBR) (RecordRef, bool, error) {
 			_, entries := rtree.DecodeNode(page)
 			for _, e := range entries {
 				if e.Box.Intersects(q) {
-					stack = append(stack, item{storage.PageID(e.Ref), it.level - 1})
+					sc.stack = append(sc.stack, seedItem{storage.PageID(e.Ref), it.level - 1})
 				}
 			}
 			continue
@@ -101,7 +135,7 @@ func (ix *Index) seed(q geom.MBR) (RecordRef, bool, error) {
 			if m.ObjectPage == storage.InvalidPage || !m.PageMBR.Intersects(q) {
 				continue
 			}
-			hit, err := ix.objectPageHasHit(m.ObjectPage, q)
+			hit, err := ix.objectPageHasHit(m.ObjectPage, q, local)
 			if err != nil {
 				return 0, false, err
 			}
@@ -111,7 +145,7 @@ func (ix *Index) seed(q geom.MBR) (RecordRef, bool, error) {
 			// The seed page buffer may have been evicted by the object
 			// read in a tiny pool; re-read it (cached in all realistic
 			// configurations).
-			page, err = ix.pool.Read(it.page)
+			page, err = ix.pool.ReadInto(it.page, local)
 			if err != nil {
 				return 0, false, err
 			}
@@ -120,8 +154,8 @@ func (ix *Index) seed(q geom.MBR) (RecordRef, bool, error) {
 	return 0, false, nil
 }
 
-func (ix *Index) objectPageHasHit(id storage.PageID, q geom.MBR) (bool, error) {
-	page, err := ix.pool.Read(id)
+func (ix *Index) objectPageHasHit(id storage.PageID, q geom.MBR, local *storage.Stats) (bool, error) {
+	page, err := ix.pool.ReadInto(id, local)
 	if err != nil {
 		return false, err
 	}
@@ -139,15 +173,15 @@ func (ix *Index) objectPageHasHit(id storage.PageID, q geom.MBR) (bool, error) {
 // read only when the record's page MBR intersects the query; a record's
 // neighbors are expanded only when its partition MBR does. Each record
 // and each object page is visited at most once.
-func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st *QueryStats) error {
-	queue := []RecordRef{start}
-	enqueued := map[RecordRef]bool{start: true}
-	visitedPages := make(map[storage.PageID]bool)
+func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st *QueryStats, sc *crawlScratch, local *storage.Stats) error {
+	sc.queue = append(sc.queue[:0], start)
+	sc.enqueued[start] = true
 
-	for len(queue) > 0 {
-		ref := queue[0]
-		queue = queue[1:]
-		page, err := ix.pool.Read(ref.Page())
+	// The queue is consumed by index so its backing array survives into
+	// the next query via the scratch pool.
+	for head := 0; head < len(sc.queue); head++ {
+		ref := sc.queue[head]
+		page, err := ix.pool.ReadInto(ref.Page(), local)
 		if err != nil {
 			return err
 		}
@@ -157,9 +191,9 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 		}
 		st.RecordsVisited++
 
-		if m.PageMBR.Intersects(q) && !visitedPages[m.ObjectPage] {
-			visitedPages[m.ObjectPage] = true
-			objPage, err := ix.pool.Read(m.ObjectPage)
+		if m.PageMBR.Intersects(q) && !sc.visited[m.ObjectPage] {
+			sc.visited[m.ObjectPage] = true
+			objPage, err := ix.pool.ReadInto(m.ObjectPage, local)
 			if err != nil {
 				return err
 			}
@@ -172,16 +206,16 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 		}
 		if m.PartitionMBR.Intersects(q) {
 			for _, n := range m.Neighbors {
-				if !enqueued[n] {
-					enqueued[n] = true
-					queue = append(queue, n)
+				if !sc.enqueued[n] {
+					sc.enqueued[n] = true
+					sc.queue = append(sc.queue, n)
 				}
 			}
 			// Giant partitions continue their neighbor list in chained
 			// overflow records; follow the chain (each hop is at most
 			// one metadata page read).
 			for next := m.Overflow; next != noRef; {
-				ovPage, err := ix.pool.Read(next.Page())
+				ovPage, err := ix.pool.ReadInto(next.Page(), local)
 				if err != nil {
 					return err
 				}
@@ -190,16 +224,16 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 					return err
 				}
 				for _, n := range ov.Neighbors {
-					if !enqueued[n] {
-						enqueued[n] = true
-						queue = append(queue, n)
+					if !sc.enqueued[n] {
+						sc.enqueued[n] = true
+						sc.queue = append(sc.queue, n)
 					}
 				}
 				next = ov.Overflow
 			}
 		}
 	}
-	st.PagesVisited = len(visitedPages)
+	st.PagesVisited = len(sc.visited)
 	return nil
 }
 
@@ -209,7 +243,10 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 func (ix *Index) CrawlFrom(q geom.MBR, start RecordRef) ([]geom.Element, error) {
 	var result []geom.Element
 	var st QueryStats
-	err := ix.crawl(q, start, func(e geom.Element) { result = append(result, e) }, &st)
+	var local storage.Stats
+	sc := getScratch()
+	defer sc.release()
+	err := ix.crawl(q, start, func(e geom.Element) { result = append(result, e) }, &st, sc, &local)
 	return result, err
 }
 
@@ -261,11 +298,7 @@ func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, 
 
 // walkMeta visits every metadata page via the seed tree.
 func (ix *Index) walkMeta(fn func(id storage.PageID, buf []byte) error) error {
-	type item struct {
-		page  storage.PageID
-		level int
-	}
-	stack := []item{{ix.seedRoot, ix.seedHeight}}
+	stack := []seedItem{{ix.seedRoot, ix.seedHeight}}
 	for len(stack) > 0 {
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -276,7 +309,7 @@ func (ix *Index) walkMeta(fn func(id storage.PageID, buf []byte) error) error {
 		if it.level > 1 {
 			_, entries := rtree.DecodeNode(page)
 			for _, e := range entries {
-				stack = append(stack, item{storage.PageID(e.Ref), it.level - 1})
+				stack = append(stack, seedItem{storage.PageID(e.Ref), it.level - 1})
 			}
 			continue
 		}

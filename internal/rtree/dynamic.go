@@ -18,7 +18,7 @@ import (
 // bulkloaded Tree: call View to obtain a read-only *Tree over the built
 // structure.
 type DynTree struct {
-	pool                     *storage.BufferPool
+	pool                     storage.Pool
 	cfg                      Config
 	root                     storage.PageID
 	height                   int
@@ -28,7 +28,7 @@ type DynTree struct {
 
 // NewDynTree creates an empty dynamic tree on pool. The first insert
 // allocates the root.
-func NewDynTree(pool *storage.BufferPool, cfg Config) *DynTree {
+func NewDynTree(pool storage.Pool, cfg Config) *DynTree {
 	return &DynTree{pool: pool, cfg: cfg.withDefaults(), root: storage.InvalidPage}
 }
 

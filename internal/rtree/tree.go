@@ -68,10 +68,10 @@ func (c Config) withDefaults() Config {
 }
 
 // Tree is a bulkloaded, disk-resident R-tree. All page access goes
-// through the BufferPool it was built on, so query cost is measured by
+// through the storage.Pool it was built on, so query cost is measured by
 // the pool's counters.
 type Tree struct {
-	pool                     *storage.BufferPool
+	pool                     storage.Pool
 	cfg                      Config
 	root                     storage.PageID
 	rootIsLeaf               bool
@@ -88,7 +88,7 @@ var ErrEmpty = errors.New("rtree: cannot build an empty tree")
 // reordered in place by the packing pass. world must contain all element
 // centers; it is required by the Hilbert strategy for quantization and
 // ignored by the others (pass geom.ElementsMBR(els) when in doubt).
-func Build(pool *storage.BufferPool, els []geom.Element, strategy Strategy, world geom.MBR, cfg Config) (*Tree, error) {
+func Build(pool storage.Pool, els []geom.Element, strategy Strategy, world geom.MBR, cfg Config) (*Tree, error) {
 	if len(els) == 0 {
 		return nil, ErrEmpty
 	}
@@ -152,7 +152,7 @@ func Build(pool *storage.BufferPool, els []geom.Element, strategy Strategy, worl
 // the number of internal pages written. FLAT uses this to put a seed tree
 // above its metadata pages. If there is exactly one entry, that page
 // itself is the root (height 1, zero internal pages).
-func BuildAbove(pool *storage.BufferPool, entries []NodeEntry, cfg Config) (storage.PageID, int, int, error) {
+func BuildAbove(pool storage.Pool, entries []NodeEntry, cfg Config) (storage.PageID, int, int, error) {
 	if len(entries) == 0 {
 		return storage.InvalidPage, 0, 0, ErrEmpty
 	}
@@ -170,7 +170,7 @@ func BuildAbove(pool *storage.BufferPool, entries []NodeEntry, cfg Config) (stor
 // buildAbove packs entries into internal nodes level by level until a
 // single root remains. It returns the root page id, the number of
 // internal levels created, and the number of internal pages written.
-func buildAbove(pool *storage.BufferPool, entries []NodeEntry, strategy Strategy, world geom.MBR, cfg Config) (storage.PageID, int, int, error) {
+func buildAbove(pool storage.Pool, entries []NodeEntry, strategy Strategy, world geom.MBR, cfg Config) (storage.PageID, int, int, error) {
 	buf := make([]byte, storage.PageSize)
 	levels, pages := 0, 0
 	for len(entries) > 1 {
@@ -224,4 +224,4 @@ func (t *Tree) SizeBytes() uint64 {
 }
 
 // Pool returns the buffer pool the tree reads through.
-func (t *Tree) Pool() *storage.BufferPool { return t.pool }
+func (t *Tree) Pool() storage.Pool { return t.pool }

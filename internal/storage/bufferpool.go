@@ -11,7 +11,8 @@ import "container/list"
 // empty file), so every query starts cold.
 //
 // The pool is not safe for concurrent use, matching the paper's
-// single-threaded methodology.
+// single-threaded methodology; use ConcurrentPool to serve many queries
+// at once from one shared cache.
 type BufferPool struct {
 	pager    Pager
 	capacity int // maximum number of cached frames; <= 0 means unbounded
@@ -55,6 +56,13 @@ func (b *BufferPool) Alloc(cat Category) (PageID, error) {
 // A cache miss increments the read counter of the page's category; a hit
 // is free, as with an OS page cache.
 func (b *BufferPool) Read(id PageID) ([]byte, error) {
+	return b.ReadInto(id, nil)
+}
+
+// ReadInto is Read, but additionally tallies a cache miss into local,
+// which the caller owns exclusively. Queries use it to collect their own
+// page-read statistics without diffing the pool's shared counters.
+func (b *BufferPool) ReadInto(id PageID, local *Stats) ([]byte, error) {
 	if el, ok := b.frames[id]; ok {
 		b.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
@@ -63,14 +71,23 @@ func (b *BufferPool) Read(id PageID) ([]byte, error) {
 	if err := b.pager.ReadPage(id, data); err != nil {
 		return nil, err
 	}
-	b.stats.Reads[b.pager.CategoryOf(id)]++
+	cat := b.pager.CategoryOf(id)
+	b.stats.Reads[cat]++
+	if local != nil {
+		local.Reads[cat]++
+	}
 	b.insert(id, data)
 	return data, nil
 }
 
 // Write stores src as the new content of page id, write-through to the
-// underlying pager, and caches it.
+// underlying pager, and caches it. src must be at least PageSize bytes
+// long; a shorter buffer is an error (not a panic) on both the cached
+// and uncached paths.
 func (b *BufferPool) Write(id PageID, src []byte) error {
+	if err := checkBuf(src, "write"); err != nil {
+		return err
+	}
 	if err := b.pager.WritePage(id, src); err != nil {
 		return err
 	}

@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// poolShards is the number of lock stripes in a ConcurrentPool. Pages are
+// distributed over the stripes by id, so with dozens of stripes two
+// goroutines reading different pages almost never share a lock.
+const poolShards = 64
+
+// ConcurrentPool is a lock-striped LRU page cache over a Pager, safe for
+// use by many goroutines at once. It backs the public flat.Index: the
+// paper's workload profile is read-mostly (models change rarely and in
+// batches; range queries dominate), so the serving path wants many
+// queries in flight against one shared cache.
+//
+// Design:
+//
+//   - Frames are striped over poolShards independently locked shards by
+//     PageID; each shard runs its own small LRU.
+//   - Cached frames are immutable snapshots: Write installs a fresh copy
+//     instead of mutating cached bytes, so a slice returned by Read stays
+//     valid — and race-free — even if the frame is evicted or the page is
+//     rewritten while the caller still decodes it.
+//   - Global counters are atomics (AtomicStats). Per-query accounting
+//     goes through ReadInto into caller-owned Stats, so queries never
+//     diff the shared counters.
+//
+// Concurrency contract: any number of Read/ReadInto calls may run
+// concurrently with each other and with the stats/cache maintenance
+// methods. Alloc and Write are serialized among themselves but must NOT
+// run concurrently with reads: a cache miss hits the underlying Pager
+// outside the write lock, and the pagers in this repository (MemPager,
+// FilePager) only support concurrent ReadPage while no Alloc/WritePage
+// runs. The FLAT index is bulkloaded and immutable, so its query phase
+// is read-only by construction and satisfies this for free; finish
+// builds before querying concurrently.
+//
+// The capacity bound is enforced per shard (capacity/poolShards frames
+// each, minimum one), so a bounded pool holds at most ~capacity frames
+// overall but a capacity below poolShards still caches up to one frame
+// per shard. Benchmark code that needs the paper's exact eviction order
+// uses BufferPool.
+type ConcurrentPool struct {
+	pager    Pager
+	capacity int // total frame budget; <= 0 means unbounded
+	shards   [poolShards]poolShard
+	stats    AtomicStats
+	wmu      sync.Mutex // serializes Alloc/Write against the pager
+}
+
+type poolShard struct {
+	mu     sync.Mutex
+	frames map[PageID]*list.Element
+	lru    *list.List // front = most recently used
+	cap    int        // per-shard frame budget; <= 0 means unbounded
+}
+
+// NewConcurrentPool wraps pager in a sharded LRU cache with a total
+// budget of capacity pages. A capacity <= 0 means the cache is unbounded.
+func NewConcurrentPool(pager Pager, capacity int) *ConcurrentPool {
+	p := &ConcurrentPool{pager: pager, capacity: capacity}
+	perShard := 0
+	if capacity > 0 {
+		perShard = capacity / poolShards
+		if perShard == 0 {
+			perShard = 1
+		}
+	}
+	for i := range p.shards {
+		p.shards[i].frames = make(map[PageID]*list.Element)
+		p.shards[i].lru = list.New()
+		p.shards[i].cap = perShard
+	}
+	return p
+}
+
+func (p *ConcurrentPool) shard(id PageID) *poolShard {
+	return &p.shards[uint64(id)%poolShards]
+}
+
+// Pager returns the underlying pager.
+func (p *ConcurrentPool) Pager() Pager { return p.pager }
+
+// Capacity returns the pool's total frame budget (<= 0: unbounded).
+func (p *ConcurrentPool) Capacity() int { return p.capacity }
+
+// Alloc allocates a new page through the underlying pager. The new page
+// is not cached (it is all zeroes). Alloc may not run concurrently with
+// Read of unallocated pages; it exists for the single-threaded build
+// phase.
+func (p *ConcurrentPool) Alloc(cat Category) (PageID, error) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return p.pager.Alloc(cat)
+}
+
+// Read returns the content of page id, fetching it from the underlying
+// pager on a cache miss. The returned slice is an immutable snapshot:
+// safe to decode without holding any lock, never overwritten in place.
+//
+// A cache miss increments the read counter of the page's category; a hit
+// is free, as with an OS page cache.
+func (p *ConcurrentPool) Read(id PageID) ([]byte, error) {
+	return p.ReadInto(id, nil)
+}
+
+// ReadInto is Read, but additionally tallies a cache miss into local,
+// which the caller owns exclusively (queries pass their own Stats and
+// receive exactly the misses they caused).
+func (p *ConcurrentPool) ReadInto(id PageID, local *Stats) ([]byte, error) {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.frames[id]; ok {
+		sh.lru.MoveToFront(el)
+		data := el.Value.(*frame).data
+		sh.mu.Unlock()
+		return data, nil
+	}
+	sh.mu.Unlock()
+
+	// Miss: fetch outside the lock so slow pager reads of different
+	// pages in one shard can overlap. Two goroutines missing on the same
+	// page both hit the pager; both fetches are real and both counted.
+	data := make([]byte, PageSize)
+	if err := p.pager.ReadPage(id, data); err != nil {
+		return nil, err
+	}
+	cat := p.pager.CategoryOf(id)
+	p.stats.AddRead(cat)
+	if local != nil {
+		local.Reads[cat]++
+	}
+
+	sh.mu.Lock()
+	if el, ok := sh.frames[id]; ok {
+		// Another goroutine cached the page while we fetched; keep its
+		// frame (frames are interchangeable immutable snapshots).
+		sh.lru.MoveToFront(el)
+		data = el.Value.(*frame).data
+		sh.mu.Unlock()
+		return data, nil
+	}
+	sh.insert(id, data)
+	sh.mu.Unlock()
+	return data, nil
+}
+
+// Write stores src as the new content of page id, write-through to the
+// underlying pager, and caches it. The cached frame is replaced, not
+// overwritten, so slices handed out by earlier Reads remain valid. src
+// must be at least PageSize bytes long; a shorter buffer is an error.
+func (p *ConcurrentPool) Write(id PageID, src []byte) error {
+	if err := checkBuf(src, "write"); err != nil {
+		return err
+	}
+	p.wmu.Lock()
+	err := p.pager.WritePage(id, src)
+	p.wmu.Unlock()
+	if err != nil {
+		return err
+	}
+	p.stats.AddWrite(p.pager.CategoryOf(id))
+	data := make([]byte, PageSize)
+	copy(data, src[:PageSize])
+	sh := p.shard(id)
+	sh.mu.Lock()
+	if el, ok := sh.frames[id]; ok {
+		el.Value.(*frame).data = data
+		sh.lru.MoveToFront(el)
+	} else {
+		sh.insert(id, data)
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
+// insert adds a frame to the shard, evicting its LRU tail when over
+// budget. Callers hold sh.mu.
+func (sh *poolShard) insert(id PageID, data []byte) {
+	el := sh.lru.PushFront(&frame{id: id, data: data})
+	sh.frames[id] = el
+	if sh.cap > 0 && sh.lru.Len() > sh.cap {
+		oldest := sh.lru.Back()
+		sh.lru.Remove(oldest)
+		delete(sh.frames, oldest.Value.(*frame).id)
+	}
+}
+
+// Cached reports whether page id currently resides in the pool.
+func (p *ConcurrentPool) Cached(id PageID) bool {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.frames[id]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of cached frames across all shards.
+func (p *ConcurrentPool) Len() int {
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the accumulated global counters.
+func (p *ConcurrentPool) Stats() Stats { return p.stats.Snapshot() }
+
+// ResetStats zeroes the global counters but keeps cached frames.
+func (p *ConcurrentPool) ResetStats() { p.stats.Reset() }
+
+// DropFrames drops every cached frame but keeps the counters.
+func (p *ConcurrentPool) DropFrames() {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.frames = make(map[PageID]*list.Element)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
+}
+
+// Reset drops every cached frame and zeroes the counters: the cold-cache
+// state the paper establishes before each query.
+func (p *ConcurrentPool) Reset() {
+	p.DropFrames()
+	p.stats.Reset()
+}

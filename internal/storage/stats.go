@@ -3,6 +3,7 @@ package storage
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Stats accumulates page-read and page-write counts per page category.
@@ -70,6 +71,42 @@ func (s Stats) Sub(o Stats) Stats {
 
 // Reset zeroes all counters.
 func (s *Stats) Reset() { *s = Stats{} }
+
+// AtomicStats is the concurrency-safe counterpart of Stats: per-category
+// read/write counters that many goroutines may bump at once.
+// ConcurrentPool uses it for its global accounting; per-query deltas are
+// not derived from it (they would race) but collected locally via
+// Pool.ReadInto.
+type AtomicStats struct {
+	reads  [NumCategories]atomic.Uint64
+	writes [NumCategories]atomic.Uint64
+}
+
+// AddRead records one page read of the given category.
+func (a *AtomicStats) AddRead(cat Category) { a.reads[cat].Add(1) }
+
+// AddWrite records one page write of the given category.
+func (a *AtomicStats) AddWrite(cat Category) { a.writes[cat].Add(1) }
+
+// Snapshot copies the counters into a plain Stats. Each counter is read
+// atomically; a snapshot taken while updates are in flight may straddle
+// them, which is inherent to any running total.
+func (a *AtomicStats) Snapshot() Stats {
+	var s Stats
+	for i := range s.Reads {
+		s.Reads[i] = a.reads[i].Load()
+		s.Writes[i] = a.writes[i].Load()
+	}
+	return s
+}
+
+// Reset zeroes all counters.
+func (a *AtomicStats) Reset() {
+	for i := range a.reads {
+		a.reads[i].Store(0)
+		a.writes[i].Store(0)
+	}
+}
 
 // String renders the non-zero read counters compactly, e.g.
 // "reads{object:12 metadata:3} total=15".
