@@ -38,6 +38,8 @@ func main() {
 		nodeCap   = flag.Int("nodecap", 0, "entries per node/page for all indexes (default 16; 0 keeps default)")
 		scale     = flag.Float64("otherscale", 0, "scale factor for the Section VIII data sets (default 1/200)")
 		workers   = flag.String("workers", "", "comma-separated worker counts for the throughput experiment (default 1,4,8,16)")
+		shards    = flag.String("shards", "", "comma-separated shard counts for the shards experiment (default 1,2,4,8)")
+		jsonDir   = flag.String("json", "", "directory to also write each experiment as machine-readable BENCH_<experiment>.json")
 		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
 	)
 	flag.Parse()
@@ -75,6 +77,16 @@ func main() {
 			cfg.Workers = append(cfg.Workers, n)
 		}
 	}
+	if *shards != "" {
+		cfg.Shards = nil
+		for _, s := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fatalf("bad shard count %q", s)
+			}
+			cfg.Shards = append(cfg.Shards, n)
+		}
+	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -103,6 +115,11 @@ func main() {
 		tables, err := runner.Run(id)
 		if err != nil {
 			fatalf("%s: %v", id, err)
+		}
+		if *jsonDir != "" {
+			if _, err := bench.WriteJSON(*jsonDir, id, tables); err != nil {
+				fatalf("json: %v", err)
+			}
 		}
 		for i, t := range tables {
 			t.Fprint(os.Stdout)

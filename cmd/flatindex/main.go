@@ -13,6 +13,13 @@
 //	flatindex -data brain.flte -index brain.idx -stats
 //	flatindex -data brain.flte -point "5,5,5"
 //	flatindex -data brain.flte -compare -query "0,0,0,4,4,4"
+//	flatindex -data brain.flte -shards 4 -index brain.shards -stats
+//
+// With -shards K (K > 1) the data is split into K spatial shards built
+// in parallel and queried scatter-gather (flat.BuildSharded); -index
+// then names a directory instead of a single page file. All query paths
+// go through the flat.Querier contract, so they are identical for both
+// index kinds.
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 		stats   = flag.Bool("stats", false, "print index statistics")
 		compare = flag.Bool("compare", false, "also run the query on the three R-tree baselines")
 		limit   = flag.Int("limit", 10, "max result elements to print (0: count only)")
+		shards  = flag.Int("shards", 1, "number of spatial shards (>1: sharded index; -index names a directory)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -47,30 +55,61 @@ func main() {
 	}
 	fmt.Printf("loaded %d elements from %s\n", len(els), *data)
 
-	// Reuse a previously built index file when present; otherwise build
-	// (and, with -index, persist for the next invocation).
-	var ix *flat.Index
-	if *index != "" {
-		if reopened, err := flat.Open(*index); err == nil {
-			fmt.Printf("reopened existing index %s\n", *index)
-			ix = reopened
+	// Reuse a previously built index file (or shard directory) when
+	// present; otherwise build (and, with -index, persist for the next
+	// invocation). Everything below the build programs against the
+	// flat.Querier contract, which both index kinds satisfy.
+	var ix flat.Querier
+	if *shards > 1 {
+		if *index != "" {
+			if reopened, err := flat.OpenSharded(*index); err == nil {
+				fmt.Printf("reopened existing sharded index %s\n", *index)
+				if reopened.NumShards() != *shards {
+					fmt.Printf("warning: directory was built with %d shards; -shards %d ignored (delete %s to rebuild)\n",
+						reopened.NumShards(), *shards, *index)
+				}
+				ix = reopened
+			}
 		}
-	}
-	if ix == nil {
-		cp := append([]flat.Element(nil), els...)
-		ix, err = flat.Build(cp, &flat.Options{Path: *index})
-		if err != nil {
-			fatalf("build: %v", err)
+		if ix == nil {
+			cp := append([]flat.Element(nil), els...)
+			sx, err := flat.BuildSharded(cp, &flat.ShardedOptions{Shards: *shards, Dir: *index})
+			if err != nil {
+				fatalf("build sharded: %v", err)
+			}
+			ix = sx
+		}
+	} else {
+		if *index != "" {
+			if reopened, err := flat.Open(*index); err == nil {
+				fmt.Printf("reopened existing index %s\n", *index)
+				ix = reopened
+			}
+		}
+		if ix == nil {
+			cp := append([]flat.Element(nil), els...)
+			plain, err := flat.Build(cp, &flat.Options{Path: *index})
+			if err != nil {
+				fatalf("build: %v", err)
+			}
+			ix = plain
 		}
 	}
 	defer ix.Close()
 	fmt.Println(ix)
 
 	if *stats {
-		fmt.Printf("  seed height:   %d\n", ix.SeedHeight())
 		fmt.Printf("  partitions:    %d\n", ix.NumPartitions())
-		fmt.Printf("  avg neighbors: %.1f\n", ix.AvgNeighbors())
 		fmt.Printf("  bounds:        %v\n", ix.Bounds())
+		switch v := ix.(type) {
+		case *flat.Index:
+			fmt.Printf("  seed height:   %d\n", v.SeedHeight())
+			fmt.Printf("  avg neighbors: %.1f\n", v.AvgNeighbors())
+		case *flat.ShardedIndex:
+			for s := 0; s < v.NumShards(); s++ {
+				fmt.Printf("  shard %d:      %v\n", s, v.ShardBounds(s))
+			}
+		}
 	}
 
 	var q flat.MBR

@@ -62,4 +62,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("point query at %v: %d elements\n", p, len(at))
+
+	// Scaling out: the same data split into 4 spatial shards, built in
+	// parallel and queried scatter-gather. Index and ShardedIndex both
+	// satisfy flat.Querier, so query code is written once.
+	sx, err := flat.BuildSharded(els, &flat.ShardedOptions{Shards: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sx.Close()
+	fmt.Println(sx)
+	for _, qr := range []flat.Querier{ix, sx} {
+		n, st, err := qr.CountQuery(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %T: %d elements, %d page reads\n", qr, n, st.TotalReads)
+	}
 }

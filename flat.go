@@ -42,9 +42,21 @@
 // lock-striped page cache; each query's QueryStats counts exactly the
 // cache misses that query caused (a page another query just fetched is a
 // free hit, as with a shared OS page cache). DropCache and Close are
-// maintenance operations: do not run them concurrently with queries.
-// BatchRangeQuery is the convenience entry point for fanning a query
-// batch over a worker pool.
+// maintenance operations: calling them while queries are in flight
+// returns ErrBusy instead of racing, and every method returns ErrClosed
+// after a successful Close. BatchRangeQuery is the convenience entry
+// point for fanning a query batch over a worker pool.
+//
+// # Scaling out: sharding
+//
+// One Index is one bulkload pass over one page file. BuildSharded
+// splits the data into K spatial shards along the Hilbert curve, builds
+// K independent FLAT indexes in parallel, and serves them behind a
+// top-level MBR directory: queries are pruned against the directory and
+// scatter-gathered over the surviving shards, with merged QueryStats.
+// All shards share one globally budgeted page cache. Index and
+// ShardedIndex both satisfy Querier, so serving code is written once
+// against the interface. See the README for guidance on choosing K.
 package flat
 
 import (
@@ -74,6 +86,49 @@ type (
 	Triangle = geom.Triangle
 	// QueryStats reports the cost of one range query in disk page reads.
 	QueryStats = core.QueryStats
+	// RecordRef addresses one metadata record on disk (page + slot); the
+	// crawl phase follows these between neighboring partitions.
+	RecordRef = core.RecordRef
+	// PageID identifies a 4 KiB page within the index's storage.
+	PageID = storage.PageID
+)
+
+// Querier is the query contract shared by the unsharded Index and the
+// ShardedIndex: callers that only read — examples, benchmarks, serving
+// code — program against it and work with either.
+//
+// All methods are safe for concurrent use. DropCache and Close return
+// ErrBusy while queries are in flight and ErrClosed after Close.
+type Querier interface {
+	// RangeQuery returns every indexed element intersecting q.
+	RangeQuery(q MBR) ([]Element, QueryStats, error)
+	// CountQuery counts elements intersecting q without materializing.
+	CountQuery(q MBR) (int, QueryStats, error)
+	// PointQuery returns the elements whose MBR contains p.
+	PointQuery(p Vec3) ([]Element, QueryStats, error)
+	// BatchRangeQuery fans queries over a worker pool.
+	BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, error)
+	// BatchCountQuery is BatchRangeQuery without materializing results.
+	BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStats, error)
+	// Len returns the number of indexed elements.
+	Len() int
+	// NumPartitions returns the number of partitions (object pages).
+	NumPartitions() int
+	// Bounds returns the bounding box of the indexed data.
+	Bounds() MBR
+	// World returns the partitioned space.
+	World() MBR
+	// SizeBytes returns the on-disk footprint of the index.
+	SizeBytes() uint64
+	// DropCache empties the page cache (cold-start simulation).
+	DropCache() error
+	// Close releases the index's storage.
+	Close() error
+}
+
+var (
+	_ Querier = (*Index)(nil)
+	_ Querier = (*ShardedIndex)(nil)
 )
 
 // V constructs a Vec3.
@@ -114,6 +169,7 @@ type Index struct {
 	inner *core.Index
 	pool  *storage.ConcurrentPool
 	pager storage.Pager
+	guard queryGuard
 }
 
 // Build bulkloads a FLAT index over els (reordering the slice in place).
@@ -190,6 +246,10 @@ func OpenWithOptions(path string, opts *Options) (*Index, error) {
 // together with the query's page-read statistics. It is safe for
 // concurrent use.
 func (ix *Index) RangeQuery(q MBR) ([]Element, QueryStats, error) {
+	if err := ix.guard.enter(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer ix.guard.exit()
 	return ix.inner.RangeQuery(q)
 }
 
@@ -197,13 +257,43 @@ func (ix *Index) RangeQuery(q MBR) ([]Element, QueryStats, error) {
 // materializing them; the page access pattern is identical to
 // RangeQuery. It is safe for concurrent use.
 func (ix *Index) CountQuery(q MBR) (int, QueryStats, error) {
+	if err := ix.guard.enter(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer ix.guard.exit()
 	return ix.inner.CountQuery(q)
 }
 
 // PointQuery returns the elements whose MBR contains p. It is safe for
 // concurrent use.
 func (ix *Index) PointQuery(p Vec3) ([]Element, QueryStats, error) {
-	return ix.inner.RangeQuery(geom.PointBox(p))
+	return ix.RangeQuery(geom.PointBox(p))
+}
+
+// CrawlFrom executes only the crawl phase of a range query, starting
+// from an explicit metadata record instead of seeding. The paper claims
+// the choice of start page affects neither accuracy nor efficiency of
+// the search; this entry point exists so that claim stays testable
+// against the public index (see Records for enumerating start refs).
+func (ix *Index) CrawlFrom(q MBR, start RecordRef) ([]Element, error) {
+	if err := ix.guard.enter(); err != nil {
+		return nil, err
+	}
+	defer ix.guard.exit()
+	return ix.inner.CrawlFrom(q, start)
+}
+
+// Records enumerates every metadata record in the index in on-disk
+// order: its ref (a valid CrawlFrom start), the page and partition MBRs,
+// the object page it describes and the full neighbor list (overflow
+// chains already spliced). Enumeration stops at the first error fn
+// returns, which is then returned.
+func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR MBR, objectPage PageID, neighbors []RecordRef) error) error {
+	if err := ix.guard.enter(); err != nil {
+		return err
+	}
+	defer ix.guard.exit()
+	return ix.inner.Records(fn)
 }
 
 // BatchResult is one query's output within a BatchRangeQuery.
@@ -221,8 +311,12 @@ type BatchResult struct {
 // several fail near-simultaneously, which one is arbitrary;
 // already-finished results are kept).
 func (ix *Index) BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, error) {
+	if err := ix.guard.enter(); err != nil {
+		return nil, err
+	}
+	defer ix.guard.exit()
 	out := make([]BatchResult, len(queries))
-	err := ix.runBatch(len(queries), workers, func(i int) error {
+	err := runBatch(len(queries), workers, func(i int) error {
 		els, st, err := ix.inner.RangeQuery(queries[i])
 		out[i] = BatchResult{Elements: els, Stats: st}
 		return err
@@ -233,9 +327,13 @@ func (ix *Index) BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, err
 // BatchCountQuery is BatchRangeQuery without materializing result
 // elements: it returns each query's hit count and stats in input order.
 func (ix *Index) BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStats, error) {
+	if err := ix.guard.enter(); err != nil {
+		return nil, nil, err
+	}
+	defer ix.guard.exit()
 	counts := make([]int, len(queries))
 	stats := make([]QueryStats, len(queries))
-	err := ix.runBatch(len(queries), workers, func(i int) error {
+	err := runBatch(len(queries), workers, func(i int) error {
 		n, st, err := ix.inner.CountQuery(queries[i])
 		counts[i], stats[i] = n, st
 		return err
@@ -243,10 +341,12 @@ func (ix *Index) BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStat
 	return counts, stats, err
 }
 
-// runBatch fans n independent work items over a worker pool. Workers
-// pull the next item from an atomic cursor, so an expensive query does
-// not stall the rest of the batch behind a static partition.
-func (ix *Index) runBatch(n, workers int, run func(i int) error) error {
+// runBatch fans n independent work items over a worker pool; it is the
+// shared batch engine behind the Batch* methods of both Index and
+// ShardedIndex. Workers pull the next item from an atomic cursor, so an
+// expensive query does not stall the rest of the batch behind a static
+// partition.
+func runBatch(n, workers int, run func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -314,10 +414,18 @@ func (ix *Index) AvgNeighbors() float64 { return ix.inner.AvgNeighbors() }
 
 // DropCache empties the page cache so the next query starts cold — the
 // equivalent of the paper's clearing of OS caches between measurements.
-// It is a maintenance operation: do not call it while queries are in
-// flight (a concurrent query would see a partially dropped cache and
-// report inflated read counts).
-func (ix *Index) DropCache() { ix.pool.DropFrames() }
+// It is a maintenance operation: when queries are in flight it returns
+// ErrBusy and leaves the cache untouched (a concurrent query would
+// otherwise see a partially dropped cache and report inflated read
+// counts), and after Close it returns ErrClosed.
+func (ix *Index) DropCache() error {
+	if err := ix.guard.maintain(); err != nil {
+		return err
+	}
+	defer ix.guard.release()
+	ix.pool.DropFrames()
+	return nil
+}
 
 // String summarizes the index.
 func (ix *Index) String() string {
@@ -327,5 +435,12 @@ func (ix *Index) String() string {
 }
 
 // Close releases the index's storage (closing the page file when the
-// index is disk-backed). The index must not be used afterwards.
-func (ix *Index) Close() error { return ix.pager.Close() }
+// index is disk-backed). When queries are in flight it returns ErrBusy
+// and closes nothing; retry once they drain. After a successful Close
+// every method returns ErrClosed.
+func (ix *Index) Close() error {
+	if err := ix.guard.shutdown(); err != nil {
+		return err
+	}
+	return ix.pager.Close()
+}

@@ -35,10 +35,11 @@ func checkStats(t *testing.T, st QueryStats, nResults int) {
 }
 
 // runConcurrencyCheck executes the workload on goroutines*rounds
-// concurrent queries against ix and verifies every result set matches
-// the single-threaded baseline and every QueryStats is self-consistent.
-// Run it under -race to also certify the page cache.
-func runConcurrencyCheck(t *testing.T, ix *Index, queries []MBR) {
+// concurrent queries against ix (any Querier: plain or sharded) and
+// verifies every result set matches the single-threaded baseline and
+// every QueryStats is self-consistent. Run it under -race to also
+// certify the page cache.
+func runConcurrencyCheck(t *testing.T, ix Querier, queries []MBR) {
 	t.Helper()
 
 	// Single-threaded baseline, and a sanity check against brute force

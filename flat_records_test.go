@@ -1,0 +1,111 @@
+package flat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRecordsInvariants checks the structural invariants of the public
+// Records enumeration: every record's partition MBR contains its page
+// MBR, every object page is described by exactly one record, and every
+// neighbor ref resolves to an enumerated record (overflow chains are
+// spliced in, so neighbor lists are complete).
+func TestRecordsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	els := randomElements(r, 3000)
+	ix, err := Build(els, &Options{PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	refs := make(map[RecordRef]bool)
+	objects := make(map[PageID]bool)
+	type rec struct {
+		neighbors []RecordRef
+	}
+	var all []rec
+	err = ix.Records(func(ref RecordRef, pageMBR, partMBR MBR, obj PageID, nb []RecordRef) error {
+		if refs[ref] {
+			t.Fatalf("record %v enumerated twice", ref)
+		}
+		refs[ref] = true
+		if objects[obj] {
+			t.Fatalf("object page %d described by two records", obj)
+		}
+		objects[obj] = true
+		if !partMBR.Contains(pageMBR) {
+			t.Fatalf("record %v: partition MBR %v does not contain page MBR %v", ref, partMBR, pageMBR)
+		}
+		if !ix.World().Contains(pageMBR) {
+			t.Fatalf("record %v: page MBR escapes the world", ref)
+		}
+		all = append(all, rec{neighbors: append([]RecordRef(nil), nb...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != ix.NumPartitions() {
+		t.Fatalf("enumerated %d records, index has %d partitions", len(all), ix.NumPartitions())
+	}
+	neighborLinks := 0
+	for _, rc := range all {
+		for _, n := range rc.neighbors {
+			if !refs[n] {
+				t.Fatalf("neighbor ref %v does not resolve to an enumerated record", n)
+			}
+			neighborLinks++
+		}
+	}
+	if neighborLinks == 0 {
+		t.Fatal("no neighbor links at all — crawl graph would be disconnected")
+	}
+}
+
+// TestCrawlFromAnyStart verifies the paper's claim behind CrawlFrom:
+// starting the crawl phase from any record whose partition intersects
+// the query yields exactly the RangeQuery result set.
+func TestCrawlFromAnyStart(t *testing.T) {
+	r := rand.New(rand.NewSource(98))
+	els := randomElements(r, 2500)
+	ix, err := Build(els, &Options{PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	for qi, q := range queryWorkload(r, 5) {
+		want, _, err := ix.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			continue
+		}
+		wantIDs := idsOf(want)
+		// Try every record intersecting the query as a crawl start.
+		starts := 0
+		err = ix.Records(func(ref RecordRef, pageMBR, partMBR MBR, obj PageID, nb []RecordRef) error {
+			if !partMBR.Intersects(q) {
+				return nil
+			}
+			starts++
+			got, err := ix.CrawlFrom(q, ref)
+			if err != nil {
+				return err
+			}
+			if !sameIDs(idsOf(got), wantIDs) {
+				t.Fatalf("query %d: crawl from %v returned %d results, RangeQuery %d",
+					qi, ref, len(got), len(want))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if starts == 0 {
+			t.Fatalf("query %d: no intersecting start records despite %d results", qi, len(want))
+		}
+	}
+}

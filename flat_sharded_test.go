@@ -1,0 +1,229 @@
+package flat
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func idsOf(els []Element) []uint64 {
+	ids := make([]uint64, len(els))
+	for i, e := range els {
+		ids[i] = e.ID
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+func sameIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedMatchesUnsharded checks every K against the unsharded
+// index on identical data, through the shared Querier contract.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	els := randomElements(r, 5000)
+	orig := append([]Element(nil), els...)
+	queries := queryWorkload(r, 30)
+
+	base, err := Build(append([]Element(nil), orig...), &Options{PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+
+	for _, k := range []int{1, 2, 4, 8} {
+		sx, err := BuildSharded(append([]Element(nil), orig...), &ShardedOptions{Shards: k, PageCapacity: 16})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if sx.NumShards() != k || sx.Len() != len(orig) {
+			t.Fatalf("k=%d: %d shards, %d elements", k, sx.NumShards(), sx.Len())
+		}
+		var q Querier = sx // both indexes serve through the same contract
+		for i, box := range queries {
+			want, wantStats, err := base.RangeQuery(box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotStats, err := q.RangeQuery(box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(idsOf(got), idsOf(want)) {
+				t.Fatalf("k=%d query %d: %d results, want %d", k, i, len(got), len(want))
+			}
+			checkStats(t, gotStats, len(got))
+			if k == 1 {
+				// K=1 must be indistinguishable: same order, same reads.
+				for j := range want {
+					if got[j] != want[j] {
+						t.Fatalf("k=1 query %d: order diverges at %d", i, j)
+					}
+				}
+				_ = wantStats // cold-read parity is asserted below
+			}
+			n, _, err := q.CountQuery(box)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != len(want) {
+				t.Errorf("k=%d query %d: count %d, want %d", k, i, n, len(want))
+			}
+		}
+		sx.Close()
+	}
+}
+
+// TestShardedColdReadParityK1 is the acceptance criterion's read-count
+// half: a 1-shard index serves every query with exactly the page reads
+// of the unsharded index.
+func TestShardedColdReadParityK1(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	els := randomElements(r, 4000)
+	orig := append([]Element(nil), els...)
+	queries := queryWorkload(r, 25)
+
+	base, err := Build(append([]Element(nil), orig...), &Options{PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	sx, err := BuildSharded(append([]Element(nil), orig...), &ShardedOptions{Shards: 1, PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+
+	for i, q := range queries {
+		if err := base.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sx.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		_, wantStats, err := base.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gotStats, err := sx.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStats != wantStats {
+			t.Errorf("query %d: sharded K=1 stats %+v, unsharded %+v", i, gotStats, wantStats)
+		}
+	}
+}
+
+func TestShardedDiskBacked(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	els := randomElements(r, 3000)
+	orig := append([]Element(nil), els...)
+	dir := filepath.Join(t.TempDir(), "sharded-index")
+	queries := queryWorkload(r, 15)
+
+	sx, err := BuildSharded(els, &ShardedOptions{Shards: 4, PageCapacity: 16, Dir: dir, BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]uint64, len(queries))
+	for i, q := range queries {
+		res, _, err := sx.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = idsOf(res)
+	}
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenShardedWithOptions(dir, &ShardedOptions{BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumShards() != 4 || re.Len() != len(orig) {
+		t.Fatalf("reopened: %d shards, %d elements", re.NumShards(), re.Len())
+	}
+	for i, q := range queries {
+		res, st, err := re.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(res), want[i]) {
+			t.Fatalf("query %d: reopened results differ", i)
+		}
+		checkStats(t, st, len(res))
+	}
+	// Point queries route through the same scatter path.
+	pt, _, err := re.PointQuery(orig[11].Box.Center())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range pt {
+		found = found || e.ID == 11
+	}
+	if !found {
+		t.Error("PointQuery missed the element at its own center")
+	}
+
+	if _, err := OpenSharded(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("OpenSharded of missing dir should fail")
+	}
+}
+
+func TestShardedBatchQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	els := randomElements(r, 4000)
+	orig := append([]Element(nil), els...)
+	sx, err := BuildSharded(els, &ShardedOptions{Shards: 4, PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	queries := queryWorkload(r, 30)
+
+	results, err := sx.BatchRangeQuery(queries, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, stats, err := sx.BatchCountQuery(queries, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want := apiBrute(orig, q)
+		if !sameIDs(idsOf(results[i].Elements), want) {
+			t.Errorf("query %d: batch range mismatch", i)
+		}
+		if counts[i] != len(want) {
+			t.Errorf("query %d: batch count %d, want %d", i, counts[i], len(want))
+		}
+		checkStats(t, results[i].Stats, len(results[i].Elements))
+		checkStats(t, stats[i], counts[i])
+	}
+}
+
+func TestShardedConcurrentQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(94))
+	els := randomElements(r, 5000)
+	sx, err := BuildSharded(els, &ShardedOptions{Shards: 4, PageCapacity: 16, BufferPages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	runConcurrencyCheck(t, sx, queryWorkload(r, 20))
+}

@@ -1,0 +1,70 @@
+package flat
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrBusy is returned by Close and DropCache when queries are in flight.
+// Retry once the queries have drained; queries themselves never return it.
+var ErrBusy = errors.New("flat: queries in flight")
+
+// ErrClosed is returned by every query and maintenance method after a
+// successful Close.
+var ErrClosed = errors.New("flat: index is closed")
+
+// queryGuard serializes maintenance operations (Close, DropCache)
+// against in-flight queries. Queries hold the read side for their whole
+// execution; maintenance try-locks the write side and reports ErrBusy
+// instead of blocking — or racing — when queries are running. This is
+// what turns the documented "do not call Close/DropCache concurrently
+// with queries" footgun into a hard error.
+type queryGuard struct {
+	mu     sync.RWMutex
+	closed bool
+}
+
+// enter marks a query as in flight. The caller must pair it with exit.
+func (g *queryGuard) enter() error {
+	g.mu.RLock()
+	if g.closed {
+		g.mu.RUnlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+// exit marks the query finished.
+func (g *queryGuard) exit() { g.mu.RUnlock() }
+
+// maintain acquires the exclusive side for a maintenance operation, or
+// fails with ErrBusy (queries running) / ErrClosed (already closed).
+// The caller must pair a nil return with release.
+func (g *queryGuard) maintain() error {
+	if !g.mu.TryLock() {
+		return ErrBusy
+	}
+	if g.closed {
+		g.mu.Unlock()
+		return ErrClosed
+	}
+	return nil
+}
+
+// release ends a maintenance operation started with maintain.
+func (g *queryGuard) release() { g.mu.Unlock() }
+
+// shutdown is maintain that also transitions to the closed state; every
+// later enter/maintain returns ErrClosed. A second shutdown reports
+// ErrClosed so Close is effectively idempotent-with-error.
+func (g *queryGuard) shutdown() error {
+	if !g.mu.TryLock() {
+		return ErrBusy
+	}
+	defer g.mu.Unlock()
+	if g.closed {
+		return ErrClosed
+	}
+	g.closed = true
+	return nil
+}

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -23,7 +26,7 @@ func tinyConfig() Config {
 func TestExperimentsRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig2", "fig20",
-		"fig21", "fig22", "fig23", "fig3", "fig4", "throughput"}
+		"fig21", "fig22", "fig23", "fig3", "fig4", "shards", "throughput"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d: %v", len(got), len(want), got)
@@ -119,6 +122,52 @@ func TestDensitySweepShape(t *testing.T) {
 				t.Errorf("%v reads did not grow with density", strat)
 			}
 		}
+	}
+}
+
+// TestWriteJSON round-trips a table through the BENCH_*.json artifact.
+func TestWriteJSON(t *testing.T) {
+	tb := &Table{
+		ID:      "shards",
+		Title:   "demo",
+		Columns: []string{"shards", "queries/sec"},
+		Note:    "note",
+	}
+	tb.AddRow("1", "100.0")
+	tb.AddRow("2", "180.5")
+	dir := t.TempDir()
+	path, err := WriteJSON(dir, "shards", []*Table{tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_shards.json" {
+		t.Errorf("artifact name %q", filepath.Base(path))
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Experiment string `json:"experiment"`
+		Tables     []struct {
+			ID      string              `json:"id"`
+			Columns []string            `json:"columns"`
+			Rows    []map[string]string `json:"rows"`
+			Note    string              `json:"note"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if report.Experiment != "shards" || len(report.Tables) != 1 {
+		t.Fatalf("report shape: %+v", report)
+	}
+	got := report.Tables[0]
+	if got.ID != "shards" || got.Note != "note" || len(got.Rows) != 2 {
+		t.Fatalf("table shape: %+v", got)
+	}
+	if got.Rows[1]["queries/sec"] != "180.5" || got.Rows[1]["shards"] != "2" {
+		t.Fatalf("row content: %+v", got.Rows[1])
 	}
 }
 

@@ -56,6 +56,10 @@ type Config struct {
 	// Workers is the worker-count sweep of the concurrent-throughput
 	// experiment. Default {1, 4, 8, 16}.
 	Workers []int
+	// Shards is the K sweep of the sharded-index experiment. Default
+	// {1, 2, 4, 8}; K=1 is also the parity check against the unsharded
+	// index.
+	Shards []int
 	// Seed drives every generator.
 	Seed int64
 }
@@ -72,6 +76,7 @@ func DefaultConfig() Config {
 		SegmentsPerNeuron: 1500,
 		OtherScale:        1.0 / 200,
 		Workers:           []int{1, 4, 8, 16},
+		Shards:            []int{1, 2, 4, 8},
 		Seed:              1,
 	}
 }
@@ -345,6 +350,7 @@ var registry = map[string]func(*Runner) ([]*Table, error){
 	"fig22":    (*Runner).fig22,
 	"ablation": (*Runner).ablation,
 	"fig23":    (*Runner).fig23,
-	// Beyond the paper: the concurrent-serving axis.
+	// Beyond the paper: the concurrent-serving and scale-out axes.
 	"throughput": (*Runner).throughput,
+	"shards":     (*Runner).shardsExperiment,
 }

@@ -78,13 +78,13 @@ type BuildStats struct {
 // safe for concurrent use when the pool is (storage.ConcurrentPool); with
 // a plain BufferPool, queries must be serialized by the caller.
 type Index struct {
-	pool storage.Pool
+	// Engine is the seed+crawl query machinery; its methods (RangeQuery,
+	// CountQuery, CrawlFrom, Records, ...) are promoted onto the Index.
+	Engine
 
-	seedRoot   storage.PageID
-	seedHeight int // levels including the metadata (leaf) level
-	world      geom.MBR
-	bounds     geom.MBR
-	count      int
+	world  geom.MBR
+	bounds geom.MBR
+	count  int
 
 	objectPages   int
 	metadataPages int
@@ -113,10 +113,6 @@ func (ix *Index) Bounds() geom.MBR { return ix.bounds }
 // NumPartitions returns the number of partitions (= object pages).
 func (ix *Index) NumPartitions() int { return ix.build.Partitions }
 
-// SeedHeight returns the height of the seed tree in levels, counting the
-// metadata level as level 1.
-func (ix *Index) SeedHeight() int { return ix.seedHeight }
-
 // PageCounts returns the number of object, metadata and seed-internal
 // pages.
 func (ix *Index) PageCounts() (object, metadata, seedInternal int) {
@@ -130,9 +126,6 @@ func (ix *Index) SizeBytes() uint64 {
 
 // BuildStats returns the construction-time breakdown.
 func (ix *Index) BuildStats() BuildStats { return ix.build }
-
-// Pool returns the page pool the index reads through.
-func (ix *Index) Pool() storage.Pool { return ix.pool }
 
 // WithPool returns a shallow view of the index that performs its page
 // reads through pool, which must wrap the same pager (or an identically

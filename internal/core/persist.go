@@ -56,15 +56,24 @@ func (ix *Index) WriteSuper() error {
 
 // Open restores an index from a pager whose last page is a superblock
 // written by WriteSuper. The supplied pool must wrap that pager.
-// When the pager is a *storage.FilePager, Open re-registers the page
-// categories (they are measurement metadata, not persisted per page).
+// When the pager can re-register page categories
+// (storage.CategorySetter, e.g. *storage.FilePager), Open restores them
+// (they are measurement metadata, not persisted per page).
 func Open(pool storage.Pool) (*Index, error) {
-	pager := pool.Pager()
-	n := pager.NumPages()
+	n := pool.Pager().NumPages()
 	if n == 0 {
 		return nil, ErrNoSuper
 	}
-	page, err := pool.Read(storage.PageID(n - 1))
+	return OpenFrom(pool, storage.PageID(n-1))
+}
+
+// OpenFrom is Open with an explicit superblock location. It exists for
+// layouts where the superblock is not the pager's last page — most
+// notably a sharded index, whose shards live behind a storage.MultiPager
+// that splices several page files into one PageID space.
+func OpenFrom(pool storage.Pool, super storage.PageID) (*Index, error) {
+	pager := pool.Pager()
+	page, err := pool.Read(super)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +84,7 @@ func Open(pool storage.Pool) (*Index, error) {
 	if v := r.U32(); v != superVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", v)
 	}
-	ix := &Index{pool: pool}
+	ix := &Index{Engine: Engine{pool: pool}}
 	ix.seedRoot = storage.PageID(r.U64())
 	ix.seedHeight = int(r.U32())
 	ix.seedFanout = int(r.U32())
@@ -88,18 +97,18 @@ func Open(pool storage.Pool) (*Index, error) {
 	ix.seedInternal = int(r.U32())
 	ix.build.Partitions = int(r.U32())
 
-	if fp, ok := pager.(*storage.FilePager); ok {
+	if cs, ok := pager.(storage.CategorySetter); ok {
 		id := ix.objStart
 		for i := 0; i < ix.objectPages; i++ {
-			fp.SetCategory(id, storage.CatObject)
+			cs.SetCategory(id, storage.CatObject)
 			id++
 		}
 		for i := 0; i < ix.metadataPages; i++ {
-			fp.SetCategory(id, storage.CatMetadata)
+			cs.SetCategory(id, storage.CatMetadata)
 			id++
 		}
 		for i := 0; i < ix.seedInternal; i++ {
-			fp.SetCategory(id, storage.CatSeedInternal)
+			cs.SetCategory(id, storage.CatSeedInternal)
 			id++
 		}
 	}

@@ -8,6 +8,32 @@ import (
 	"flat/internal/storage"
 )
 
+// Engine is the reusable seed+crawl query machinery: everything a FLAT
+// query needs at run time — the page pool plus the seed-tree root and
+// height. Index embeds an Engine, and higher layers (the sharded index,
+// benchmark views) program against its methods without caring about the
+// build-time metadata Index carries around it. Engines are immutable
+// after construction and safe for concurrent use when their pool is.
+type Engine struct {
+	pool       storage.Pool
+	seedRoot   storage.PageID
+	seedHeight int // levels including the metadata (leaf) level
+}
+
+// NewEngine returns a query engine over an already-materialized FLAT
+// layout: pool must serve the index's pages, root is the seed-tree root
+// and height its level count (metadata level inclusive).
+func NewEngine(pool storage.Pool, root storage.PageID, height int) Engine {
+	return Engine{pool: pool, seedRoot: root, seedHeight: height}
+}
+
+// Pool returns the page pool the engine reads through.
+func (e *Engine) Pool() storage.Pool { return e.pool }
+
+// SeedHeight returns the height of the seed tree in levels, counting the
+// metadata level as level 1.
+func (e *Engine) SeedHeight() int { return e.seedHeight }
+
 // QueryStats describes one range-query execution. Page-read counts are
 // the cache misses this query itself caused, tallied locally through
 // storage.Pool.ReadInto (never by diffing the pool's shared counters,
@@ -23,21 +49,34 @@ type QueryStats struct {
 	TotalReads     uint64
 }
 
+// Add accumulates o into s. The sharded index uses it to merge the
+// per-shard statistics of one scatter-gathered query; every field is a
+// count, so the merge is a plain sum.
+func (s *QueryStats) Add(o QueryStats) {
+	s.Results += o.Results
+	s.RecordsVisited += o.RecordsVisited
+	s.PagesVisited += o.PagesVisited
+	s.SeedReads += o.SeedReads
+	s.MetadataReads += o.MetadataReads
+	s.ObjectReads += o.ObjectReads
+	s.TotalReads += o.TotalReads
+}
+
 // RangeQuery returns all elements whose MBR intersects q, executing the
 // paper's two-phase algorithm: seed then crawl. The result order is the
 // BFS visit order and therefore deterministic for a given index.
-func (ix *Index) RangeQuery(q geom.MBR) ([]geom.Element, QueryStats, error) {
+func (eng *Engine) RangeQuery(q geom.MBR) ([]geom.Element, QueryStats, error) {
 	var result []geom.Element
-	stats, err := ix.query(q, func(e geom.Element) { result = append(result, e) })
+	stats, err := eng.query(q, func(e geom.Element) { result = append(result, e) })
 	stats.Results = len(result)
 	return result, stats, err
 }
 
 // CountQuery is RangeQuery without materializing the result elements;
 // the page access pattern is identical.
-func (ix *Index) CountQuery(q geom.MBR) (int, QueryStats, error) {
+func (eng *Engine) CountQuery(q geom.MBR) (int, QueryStats, error) {
 	n := 0
-	stats, err := ix.query(q, func(geom.Element) { n++ })
+	stats, err := eng.query(q, func(geom.Element) { n++ })
 	stats.Results = n
 	return n, stats, err
 }
@@ -78,7 +117,7 @@ func (sc *crawlScratch) release() {
 	scratchPool.Put(sc)
 }
 
-func (ix *Index) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) {
+func (eng *Engine) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) {
 	var st QueryStats
 	// Per-query accounting is collected locally via ReadInto rather than
 	// by diffing the pool's shared counters, which would attribute other
@@ -87,9 +126,9 @@ func (ix *Index) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) 
 	sc := getScratch()
 	defer sc.release()
 
-	seedRef, ok, err := ix.seed(q, sc, &local)
+	seedRef, ok, err := eng.seed(q, sc, &local)
 	if err == nil && ok {
-		err = ix.crawl(q, seedRef, emit, &st, sc, &local)
+		err = eng.crawl(q, seedRef, emit, &st, sc, &local)
 	}
 	st.SeedReads = local.Reads[storage.CatSeedInternal]
 	st.MetadataReads = local.Reads[storage.CatMetadata]
@@ -104,12 +143,12 @@ func (ix *Index) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) 
 // time and stops at the first hit, so its cost is in the order of the
 // seed-tree height; only for nearly-empty queries does it inspect
 // several leaves before concluding the result is empty.
-func (ix *Index) seed(q geom.MBR, sc *crawlScratch, local *storage.Stats) (RecordRef, bool, error) {
-	sc.stack = append(sc.stack[:0], seedItem{ix.seedRoot, ix.seedHeight})
+func (eng *Engine) seed(q geom.MBR, sc *crawlScratch, local *storage.Stats) (RecordRef, bool, error) {
+	sc.stack = append(sc.stack[:0], seedItem{eng.seedRoot, eng.seedHeight})
 	for len(sc.stack) > 0 {
 		it := sc.stack[len(sc.stack)-1]
 		sc.stack = sc.stack[:len(sc.stack)-1]
-		page, err := ix.pool.ReadInto(it.page, local)
+		page, err := eng.pool.ReadInto(it.page, local)
 		if err != nil {
 			return 0, false, err
 		}
@@ -135,7 +174,7 @@ func (ix *Index) seed(q geom.MBR, sc *crawlScratch, local *storage.Stats) (Recor
 			if m.ObjectPage == storage.InvalidPage || !m.PageMBR.Intersects(q) {
 				continue
 			}
-			hit, err := ix.objectPageHasHit(m.ObjectPage, q, local)
+			hit, err := eng.objectPageHasHit(m.ObjectPage, q, local)
 			if err != nil {
 				return 0, false, err
 			}
@@ -145,7 +184,7 @@ func (ix *Index) seed(q geom.MBR, sc *crawlScratch, local *storage.Stats) (Recor
 			// The seed page buffer may have been evicted by the object
 			// read in a tiny pool; re-read it (cached in all realistic
 			// configurations).
-			page, err = ix.pool.ReadInto(it.page, local)
+			page, err = eng.pool.ReadInto(it.page, local)
 			if err != nil {
 				return 0, false, err
 			}
@@ -154,8 +193,8 @@ func (ix *Index) seed(q geom.MBR, sc *crawlScratch, local *storage.Stats) (Recor
 	return 0, false, nil
 }
 
-func (ix *Index) objectPageHasHit(id storage.PageID, q geom.MBR, local *storage.Stats) (bool, error) {
-	page, err := ix.pool.ReadInto(id, local)
+func (eng *Engine) objectPageHasHit(id storage.PageID, q geom.MBR, local *storage.Stats) (bool, error) {
+	page, err := eng.pool.ReadInto(id, local)
 	if err != nil {
 		return false, err
 	}
@@ -173,7 +212,7 @@ func (ix *Index) objectPageHasHit(id storage.PageID, q geom.MBR, local *storage.
 // read only when the record's page MBR intersects the query; a record's
 // neighbors are expanded only when its partition MBR does. Each record
 // and each object page is visited at most once.
-func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st *QueryStats, sc *crawlScratch, local *storage.Stats) error {
+func (eng *Engine) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st *QueryStats, sc *crawlScratch, local *storage.Stats) error {
 	sc.queue = append(sc.queue[:0], start)
 	sc.enqueued[start] = true
 
@@ -181,7 +220,7 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 	// the next query via the scratch pool.
 	for head := 0; head < len(sc.queue); head++ {
 		ref := sc.queue[head]
-		page, err := ix.pool.ReadInto(ref.Page(), local)
+		page, err := eng.pool.ReadInto(ref.Page(), local)
 		if err != nil {
 			return err
 		}
@@ -193,7 +232,7 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 
 		if m.PageMBR.Intersects(q) && !sc.visited[m.ObjectPage] {
 			sc.visited[m.ObjectPage] = true
-			objPage, err := ix.pool.ReadInto(m.ObjectPage, local)
+			objPage, err := eng.pool.ReadInto(m.ObjectPage, local)
 			if err != nil {
 				return err
 			}
@@ -215,7 +254,7 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 			// overflow records; follow the chain (each hop is at most
 			// one metadata page read).
 			for next := m.Overflow; next != noRef; {
-				ovPage, err := ix.pool.ReadInto(next.Page(), local)
+				ovPage, err := eng.pool.ReadInto(next.Page(), local)
 				if err != nil {
 					return err
 				}
@@ -240,21 +279,21 @@ func (ix *Index) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st 
 // CrawlFrom executes the crawl phase from an explicit start record; it
 // exists so tests can verify the paper's claim that "the choice of the
 // start page affects neither the accuracy nor efficiency of the search".
-func (ix *Index) CrawlFrom(q geom.MBR, start RecordRef) ([]geom.Element, error) {
+func (eng *Engine) CrawlFrom(q geom.MBR, start RecordRef) ([]geom.Element, error) {
 	var result []geom.Element
 	var st QueryStats
 	var local storage.Stats
 	sc := getScratch()
 	defer sc.release()
-	err := ix.crawl(q, start, func(e geom.Element) { result = append(result, e) }, &st, sc, &local)
+	err := eng.crawl(q, start, func(e geom.Element) { result = append(result, e) }, &st, sc, &local)
 	return result, err
 }
 
 // Records enumerates every metadata record in the index in on-disk
 // order, calling fn with its ref and decoded content. Used by invariant
 // tests and the flatindex CLI inspect mode.
-func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, objectPage storage.PageID, neighbors []RecordRef) error) error {
-	return ix.walkMeta(func(page storage.PageID, buf []byte) error {
+func (eng *Engine) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, objectPage storage.PageID, neighbors []RecordRef) error) error {
+	return eng.walkMeta(func(page storage.PageID, buf []byte) error {
 		count := metaPageRecordCount(buf)
 		for slot := 0; slot < count; slot++ {
 			m, err := decodeMetaRecord(buf, slot)
@@ -267,7 +306,7 @@ func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, 
 			// Collect the full neighbor list across the overflow chain.
 			neighbors := m.Neighbors
 			for next := m.Overflow; next != noRef; {
-				ovPage, err := ix.pool.Read(next.Page())
+				ovPage, err := eng.pool.Read(next.Page())
 				if err != nil {
 					return err
 				}
@@ -278,7 +317,7 @@ func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, 
 				neighbors = append(neighbors, ov.Neighbors...)
 				next = ov.Overflow
 				// Restore this iteration's page buffer.
-				buf, err = ix.pool.Read(page)
+				buf, err = eng.pool.Read(page)
 				if err != nil {
 					return err
 				}
@@ -287,7 +326,7 @@ func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, 
 				return err
 			}
 			// Refresh in case of eviction mid-iteration.
-			buf, err = ix.pool.Read(page)
+			buf, err = eng.pool.Read(page)
 			if err != nil {
 				return err
 			}
@@ -297,12 +336,12 @@ func (ix *Index) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, 
 }
 
 // walkMeta visits every metadata page via the seed tree.
-func (ix *Index) walkMeta(fn func(id storage.PageID, buf []byte) error) error {
-	stack := []seedItem{{ix.seedRoot, ix.seedHeight}}
+func (eng *Engine) walkMeta(fn func(id storage.PageID, buf []byte) error) error {
+	stack := []seedItem{{eng.seedRoot, eng.seedHeight}}
 	for len(stack) > 0 {
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		page, err := ix.pool.Read(it.page)
+		page, err := eng.pool.Read(it.page)
 		if err != nil {
 			return err
 		}

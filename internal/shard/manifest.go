@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+// On-disk layout of a sharded index directory:
+//
+//	<dir>/MANIFEST.json   shard count + world box
+//	<dir>/shard-0000.flat per-shard FLAT page files (superblock last)
+//	<dir>/shard-0001.flat
+//	...
+//
+// Each shard file is an ordinary FLAT page file whose stored page ids
+// carry the shard's tag (see storage.ShardView), so opening splices the
+// files behind one storage.MultiPager with no translation pass.
+
+// ManifestName is the manifest file's name within the index directory.
+const ManifestName = "MANIFEST.json"
+
+const manifestVersion = 1
+
+type manifest struct {
+	Version int        `json:"version"`
+	Shards  int        `json:"shards"`
+	World   [6]float64 `json:"world"` // min x,y,z then max x,y,z
+}
+
+// shardFile returns the page-file path of shard s under dir.
+func shardFile(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.flat", s))
+}
+
+func writeManifest(dir string, shards int, world geom.MBR) error {
+	m := manifest{
+		Version: manifestVersion,
+		Shards:  shards,
+		World: [6]float64{
+			world.Min.X, world.Min.Y, world.Min.Z,
+			world.Max.X, world.Max.Y, world.Max.Z,
+		},
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+}
+
+func readManifest(dir string) (shards int, world geom.MBR, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return 0, geom.MBR{}, fmt.Errorf("shard: read manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, geom.MBR{}, fmt.Errorf("shard: parse manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return 0, geom.MBR{}, fmt.Errorf("shard: unsupported manifest version %d", m.Version)
+	}
+	if m.Shards < 1 || m.Shards > storage.MaxShards {
+		return 0, geom.MBR{}, fmt.Errorf("shard: manifest shard count %d out of range", m.Shards)
+	}
+	world = geom.MBR{
+		Min: geom.V(m.World[0], m.World[1], m.World[2]),
+		Max: geom.V(m.World[3], m.World[4], m.World[5]),
+	}
+	return m.Shards, world, nil
+}
+
+// createPagers makes the per-shard pagers: page files under dir when dir
+// is non-empty (creating the directory), memory pagers otherwise.
+func createPagers(dir string, k int) ([]storage.Pager, error) {
+	pagers := make([]storage.Pager, k)
+	if dir == "" {
+		for s := range pagers {
+			pagers[s] = storage.NewMemPager()
+		}
+		return pagers, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: create index dir: %w", err)
+	}
+	for s := range pagers {
+		fp, err := storage.CreateFilePager(shardFile(dir, s))
+		if err != nil {
+			for _, p := range pagers[:s] {
+				p.Close()
+			}
+			return nil, err
+		}
+		pagers[s] = fp
+	}
+	return pagers, nil
+}

@@ -1,0 +1,476 @@
+// Package shard implements the spatially-partitioned, scatter-gather
+// layer over the FLAT index of internal/core.
+//
+// One FLAT index is bulkloaded in a single pass and lives in a single
+// page file — fine for one machine-sized model, but a dead end for the
+// roadmap's scale. This package lifts the paper's own bulk-partitioning
+// idea one level up: the element set is split into K spatial shards
+// along the Hilbert curve (the same curve the Hilbert R-tree baseline
+// sorts with), each shard is bulkloaded into its own FLAT index — in
+// parallel, since the builds are independent — and a top-level MBR
+// directory routes queries to the shards they can touch.
+//
+// A query scatter-gathers: the directory prunes shards whose bounds do
+// not intersect the query box, the surviving shards run the ordinary
+// seed+crawl in parallel, and the per-shard results and QueryStats are
+// merged. With K=1 the whole apparatus degenerates to exactly the
+// unsharded index — same pages, same ids, same read counts — which is
+// the invariant the tests pin down.
+//
+// Storage is shard-aware but the cache is global: every shard's page
+// file hangs behind one storage.MultiPager, and one budgeted
+// storage.ConcurrentPool serves them all, so cache memory is bounded
+// for the whole sharded index rather than per shard.
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"flat/internal/core"
+	"flat/internal/geom"
+	"flat/internal/hilbert"
+	"flat/internal/storage"
+)
+
+// Config configures Build.
+type Config struct {
+	// Shards is K, the number of spatial shards. 0 or 1 builds a single
+	// shard (identical to an unsharded index).
+	Shards int
+	// PageCapacity caps elements per object page (0: a full page); it is
+	// passed through to every shard's core.Build.
+	PageCapacity int
+	// SeedFanout caps seed-tree fanout per shard (0: a full page).
+	SeedFanout int
+	// World is the space the data lives in. Like core.Options.World it
+	// may be zero (the data's bounds are used); it also anchors the
+	// Hilbert quantization grid along which elements are assigned to
+	// shards.
+	World geom.MBR
+	// Dir, when non-empty, stores the index on disk: one page file per
+	// shard plus a manifest, all under this directory.
+	Dir string
+	// BufferPages bounds the page cache shared by every shard
+	// (<= 0: unbounded). The budget is global: K shards together hold at
+	// most this many cached frames.
+	BufferPages int
+	// BuildWorkers bounds the number of shards bulkloaded concurrently
+	// (<= 0: GOMAXPROCS).
+	BuildWorkers int
+}
+
+// Set is a built sharded FLAT index: K per-shard core indexes, the MBR
+// directory that routes queries to them, and the shared page pool they
+// are served from. Like core.Index it is immutable after Build/Open and
+// safe for concurrent queries.
+type Set struct {
+	shards []*core.Index
+	bounds []geom.MBR // directory: per-shard data bounds, by shard
+	world  geom.MBR
+	pool   *storage.ConcurrentPool
+	multi  *storage.MultiPager
+	count  int
+}
+
+// SplitHilbert reorders els in place along the 3D Hilbert curve of their
+// MBR centers (quantized over world) and cuts the order into at most k
+// contiguous, near-equal groups — the shard assignment. Fewer than k
+// groups come back when there are fewer than k elements. k <= 1 returns
+// the input as one group, untouched: a single shard must preserve the
+// exact element order an unsharded build would see.
+func SplitHilbert(els []geom.Element, k int, world geom.MBR) [][]geom.Element {
+	if len(els) == 0 {
+		return nil
+	}
+	if k <= 1 || len(els) == 1 {
+		return [][]geom.Element{els}
+	}
+	quant := hilbert.NewQuantizer(world)
+	keys := make([]uint64, len(els))
+	for i, e := range els {
+		keys[i] = quant.KeyOfMBR(e.Box)
+	}
+	idx := make([]int, len(els))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	sorted := make([]geom.Element, len(els))
+	for i, j := range idx {
+		sorted[i] = els[j]
+	}
+	copy(els, sorted)
+
+	size := (len(els) + k - 1) / k
+	groups := make([][]geom.Element, 0, k)
+	for rest := els; len(rest) > 0; {
+		n := size
+		if n > len(rest) {
+			n = len(rest)
+		}
+		groups = append(groups, rest[:n])
+		rest = rest[n:]
+	}
+	return groups
+}
+
+// Build bulkloads a sharded FLAT index over els (reordering the slice in
+// place: first along the Hilbert curve into shards, then per shard by
+// the STR pass). Shards are built on a bounded worker pool; see Config
+// for the storage and partitioning knobs.
+func Build(els []geom.Element, cfg Config) (*Set, error) {
+	if len(els) == 0 {
+		return nil, core.ErrEmpty
+	}
+	k := cfg.Shards
+	if k <= 0 {
+		k = 1
+	}
+	if k > storage.MaxShards {
+		return nil, fmt.Errorf("shard: %d shards exceed the %d-shard id space", k, storage.MaxShards)
+	}
+	bounds := geom.ElementsMBR(els)
+	world := cfg.World
+	if world.Empty() || world == (geom.MBR{}) {
+		world = bounds
+	} else {
+		world = world.Union(bounds)
+	}
+	groups := SplitHilbert(els, k, world)
+	k = len(groups)
+
+	pagers, err := createPagers(cfg.Dir, k)
+	if err != nil {
+		return nil, err
+	}
+	closeAll := func() {
+		for _, p := range pagers {
+			p.Close()
+		}
+	}
+
+	// Per-shard worlds: a lone shard keeps the caller's world so the
+	// build is bit-for-bit the unsharded one; with K > 1 each shard
+	// partitions its own bounds — its crawl graph only ever needs to
+	// span its own elements, and tiling the full world from every shard
+	// would stretch boundary partitions across the whole model.
+	shardWorld := func(s int) geom.MBR {
+		if k == 1 {
+			return cfg.World
+		}
+		return geom.MBR{}
+	}
+
+	built := make([]*core.Index, k)
+	err = forEach(k, cfg.BuildWorkers, func(s int) error {
+		view, err := storage.NewShardView(pagers[s], s)
+		if err != nil {
+			return err
+		}
+		pool := storage.NewBufferPool(view, 0)
+		ix, err := core.Build(pool, groups[s], core.Options{
+			PageCapacity: cfg.PageCapacity,
+			SeedFanout:   cfg.SeedFanout,
+			World:        shardWorld(s),
+		})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+		if cfg.Dir != "" {
+			if err := ix.WriteSuper(); err != nil {
+				return fmt.Errorf("shard %d: %w", s, err)
+			}
+		}
+		built[s] = ix
+		return nil
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+
+	multi, err := storage.NewMultiPager(pagers)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	if cfg.Dir != "" {
+		if err := writeManifest(cfg.Dir, k, world); err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+
+	// Serve every shard from one shared, globally budgeted pool. The
+	// per-shard build pools are discarded, so the set starts cold.
+	pool := storage.NewConcurrentPool(multi, cfg.BufferPages)
+	s := &Set{
+		shards: make([]*core.Index, k),
+		bounds: make([]geom.MBR, k),
+		world:  world,
+		pool:   pool,
+		multi:  multi,
+	}
+	for i, ix := range built {
+		s.shards[i] = ix.WithPool(pool)
+		s.bounds[i] = ix.Bounds()
+		s.count += ix.Len()
+	}
+	return s, nil
+}
+
+// Open loads a sharded index previously built with a Config.Dir from its
+// directory. bufferPages bounds the shared page cache as in Config.
+func Open(dir string, bufferPages int) (*Set, error) {
+	k, world, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	pagers := make([]storage.Pager, k)
+	closeAll := func() {
+		for _, p := range pagers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}
+	for s := 0; s < k; s++ {
+		fp, err := storage.OpenFilePager(shardFile(dir, s))
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		pagers[s] = fp
+	}
+	multi, err := storage.NewMultiPager(pagers)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	pool := storage.NewConcurrentPool(multi, bufferPages)
+	set := &Set{
+		shards: make([]*core.Index, k),
+		bounds: make([]geom.MBR, k),
+		world:  world,
+		pool:   pool,
+		multi:  multi,
+	}
+	for s := 0; s < k; s++ {
+		// Each shard's superblock is the last page of its own file; its
+		// global id carries the shard tag.
+		if pagers[s].NumPages() == 0 {
+			closeAll()
+			return nil, fmt.Errorf("shard %d: empty page file %s: %w", s, shardFile(dir, s), core.ErrNoSuper)
+		}
+		super := storage.ShardPageID(s, storage.PageID(pagers[s].NumPages()-1))
+		ix, err := core.OpenFrom(pool, super)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		set.shards[s] = ix
+		set.bounds[s] = ix.Bounds()
+		set.count += ix.Len()
+	}
+	return set, nil
+}
+
+// Prune returns the shards whose data bounds intersect q, in shard
+// order — the scatter set of one query.
+func (s *Set) Prune(q geom.MBR) []int {
+	var sel []int
+	for i, b := range s.bounds {
+		if b.Intersects(q) {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// RangeQuery scatter-gathers q over the shards the directory cannot
+// prune and returns the merged results and statistics. Results are
+// concatenated in shard order (each shard's portion in its deterministic
+// BFS order), so the output order is deterministic for a given set.
+func (s *Set) RangeQuery(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
+	sel := s.Prune(q)
+	switch len(sel) {
+	case 0:
+		return nil, core.QueryStats{}, nil
+	case 1:
+		return s.shards[sel[0]].RangeQuery(q)
+	}
+	els := make([][]geom.Element, len(sel))
+	stats := make([]core.QueryStats, len(sel))
+	err := s.scatter(sel, func(i, shard int) error {
+		var err error
+		els[i], stats[i], err = s.shards[shard].RangeQuery(q)
+		return err
+	})
+	if err != nil {
+		return nil, core.QueryStats{}, err
+	}
+	var merged core.QueryStats
+	total := 0
+	for i := range els {
+		merged.Add(stats[i])
+		total += len(els[i])
+	}
+	out := make([]geom.Element, 0, total)
+	for _, part := range els {
+		out = append(out, part...)
+	}
+	return out, merged, nil
+}
+
+// CountQuery is RangeQuery without materializing elements; the per-shard
+// page access pattern is identical.
+func (s *Set) CountQuery(q geom.MBR) (int, core.QueryStats, error) {
+	sel := s.Prune(q)
+	switch len(sel) {
+	case 0:
+		return 0, core.QueryStats{}, nil
+	case 1:
+		return s.shards[sel[0]].CountQuery(q)
+	}
+	counts := make([]int, len(sel))
+	stats := make([]core.QueryStats, len(sel))
+	err := s.scatter(sel, func(i, shard int) error {
+		var err error
+		counts[i], stats[i], err = s.shards[shard].CountQuery(q)
+		return err
+	})
+	if err != nil {
+		return 0, core.QueryStats{}, err
+	}
+	var merged core.QueryStats
+	n := 0
+	for i := range counts {
+		merged.Add(stats[i])
+		n += counts[i]
+	}
+	return n, merged, nil
+}
+
+// scatter runs fn(i, sel[i]) across the selected shards and waits for
+// all of them. K is small (the scatter width is at most the shard
+// count), so a goroutine per shard beats pooling; the first shard runs
+// on the calling goroutine, saving one spawn and one scheduler hop per
+// query.
+func (s *Set) scatter(sel []int, fn func(i, shard int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(sel))
+	for i, shard := range sel[1:] {
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			errs[i] = fn(i, shard)
+		}(i+1, shard)
+	}
+	errs[0] = fn(0, sel[0])
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumShards returns K.
+func (s *Set) NumShards() int { return len(s.shards) }
+
+// Shard returns the i-th per-shard index (for tests and measurements).
+func (s *Set) Shard(i int) *core.Index { return s.shards[i] }
+
+// ShardBounds returns the directory entry (data bounds) of shard i.
+func (s *Set) ShardBounds(i int) geom.MBR { return s.bounds[i] }
+
+// Len returns the total number of indexed elements across shards.
+func (s *Set) Len() int { return s.count }
+
+// World returns the space the shard assignment was derived in.
+func (s *Set) World() geom.MBR { return s.world }
+
+// Bounds returns the union of the shard bounds.
+func (s *Set) Bounds() geom.MBR {
+	b := geom.EmptyMBR()
+	for _, sb := range s.bounds {
+		b = b.Union(sb)
+	}
+	return b
+}
+
+// NumPartitions returns the total partition (object page) count.
+func (s *Set) NumPartitions() int {
+	n := 0
+	for _, ix := range s.shards {
+		n += ix.NumPartitions()
+	}
+	return n
+}
+
+// SizeBytes returns the on-disk footprint across all shards.
+func (s *Set) SizeBytes() uint64 {
+	var n uint64
+	for _, ix := range s.shards {
+		n += ix.SizeBytes()
+	}
+	return n
+}
+
+// Pool returns the shared page pool all shards are served from.
+func (s *Set) Pool() *storage.ConcurrentPool { return s.pool }
+
+// DropCache empties the shared page cache.
+func (s *Set) DropCache() { s.pool.DropFrames() }
+
+// Close releases every shard's storage.
+func (s *Set) Close() error { return s.multi.Close() }
+
+// forEach runs fn(0..n-1) on a bounded worker pool and returns the
+// first error (remaining items may be skipped once a worker fails).
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		next   int
+		failed bool
+		first  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if failed || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					failed = true
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

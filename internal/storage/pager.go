@@ -98,6 +98,14 @@ type Pager interface {
 	Close() error
 }
 
+// CategorySetter is implemented by pagers that can re-tag a page's
+// category after the fact. Index open paths use it to restore the
+// measurement categories of a persisted file (FilePager keeps them in
+// memory only), and the shard views forward it to their backing pager.
+type CategorySetter interface {
+	SetCategory(id PageID, cat Category)
+}
+
 func checkBuf(buf []byte, op string) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("storage: %s buffer too small: %d < %d", op, len(buf), PageSize)

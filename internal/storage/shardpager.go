@@ -1,0 +1,263 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sharded page addressing. A sharded FLAT index keeps one page file per
+// spatial shard but serves every shard through one budgeted page cache,
+// so all shards must share a single PageID space. The space is split by
+// tagging the shard number into the id:
+//
+//	bits 47..32: shard number (up to MaxShards)
+//	bits 31..0:  page within the shard's own pager
+//
+// The tag stays within the low 48 bits of the id because core.RecordRef
+// packs a PageID into 48 bits (page<<16 | slot); ids above that would be
+// silently truncated by the metadata-record encoding. 2^32 pages of
+// 4 KiB bound each shard at 16 TiB, far beyond this library's scale.
+//
+// Shard 0's ids coincide with its pager's local ids (tag 0), which is
+// what makes a 1-shard index byte-identical to an unsharded one.
+const (
+	shardIDShift = 32
+	// MaxShards is the number of shards the PageID space can address.
+	MaxShards = 1 << 16
+	// maxShardLocal is the exclusive bound on per-shard local page ids.
+	maxShardLocal  = uint64(1) << shardIDShift
+	shardLocalMask = maxShardLocal - 1
+)
+
+// ShardPageID tags a shard-local page id into the shared PageID space.
+func ShardPageID(shard int, local PageID) PageID {
+	return PageID(uint64(shard)<<shardIDShift | uint64(local))
+}
+
+// SplitShardPageID is the inverse of ShardPageID.
+func SplitShardPageID(id PageID) (shard int, local PageID) {
+	return int(uint64(id) >> shardIDShift), PageID(uint64(id) & shardLocalMask)
+}
+
+// ErrMultiPagerAlloc is returned by MultiPager.Alloc: pages must be
+// allocated through the owning shard's view, never through the router.
+var ErrMultiPagerAlloc = errors.New("storage: allocate through a shard's view, not the multi pager")
+
+// ShardView presents one shard's pager as a window of the sharded
+// PageID space: Alloc returns tagged ids, reads and writes translate
+// them back. An index built through a ShardView therefore stores tagged
+// ids in all of its persistent structures (seed root, object-page
+// pointers, metadata record refs), so the very same page file can later
+// be served — without any translation pass — behind a MultiPager that
+// splices all shards together.
+//
+// A ShardView adds no synchronization: it is exactly as concurrency-safe
+// as the pager it wraps.
+type ShardView struct {
+	sub   Pager
+	shard int
+}
+
+// NewShardView wraps sub as shard number shard of the shared id space.
+func NewShardView(sub Pager, shard int) (*ShardView, error) {
+	if shard < 0 || shard >= MaxShards {
+		return nil, fmt.Errorf("storage: shard %d out of range [0,%d)", shard, MaxShards)
+	}
+	return &ShardView{sub: sub, shard: shard}, nil
+}
+
+// Shard returns the view's shard number.
+func (v *ShardView) Shard() int { return v.shard }
+
+// Sub returns the wrapped pager.
+func (v *ShardView) Sub() Pager { return v.sub }
+
+// local translates a tagged id to the wrapped pager's id space.
+func (v *ShardView) local(id PageID) (PageID, error) {
+	shard, local := SplitShardPageID(id)
+	if shard != v.shard {
+		return InvalidPage, ErrPageOutOfRange
+	}
+	return local, nil
+}
+
+// Alloc implements Pager; the returned id carries the shard tag.
+func (v *ShardView) Alloc(cat Category) (PageID, error) {
+	local, err := v.sub.Alloc(cat)
+	if err != nil {
+		return InvalidPage, err
+	}
+	if uint64(local) >= maxShardLocal {
+		return InvalidPage, fmt.Errorf("storage: shard %d exceeds %d pages", v.shard, maxShardLocal)
+	}
+	return ShardPageID(v.shard, local), nil
+}
+
+// ReadPage implements Pager.
+func (v *ShardView) ReadPage(id PageID, dst []byte) error {
+	local, err := v.local(id)
+	if err != nil {
+		return err
+	}
+	return v.sub.ReadPage(local, dst)
+}
+
+// WritePage implements Pager.
+func (v *ShardView) WritePage(id PageID, src []byte) error {
+	local, err := v.local(id)
+	if err != nil {
+		return err
+	}
+	return v.sub.WritePage(local, src)
+}
+
+// CategoryOf implements Pager.
+func (v *ShardView) CategoryOf(id PageID) Category {
+	local, err := v.local(id)
+	if err != nil {
+		return CatUnknown
+	}
+	return v.sub.CategoryOf(local)
+}
+
+// SetCategory implements CategorySetter when the wrapped pager does.
+func (v *ShardView) SetCategory(id PageID, cat Category) {
+	local, err := v.local(id)
+	if err != nil {
+		return
+	}
+	if cs, ok := v.sub.(CategorySetter); ok {
+		cs.SetCategory(local, cat)
+	}
+}
+
+// NumPages implements Pager with the wrapped pager's page count. Note
+// that tagged ids do not run 0..NumPages()-1 for shards > 0; callers
+// locating a shard's superblock combine this with ShardPageID.
+func (v *ShardView) NumPages() uint64 { return v.sub.NumPages() }
+
+// Sync implements Pager.
+func (v *ShardView) Sync() error { return v.sub.Sync() }
+
+// Close implements Pager.
+func (v *ShardView) Close() error { return v.sub.Close() }
+
+// MultiPager routes the sharded PageID space over per-shard pagers: id
+// bits 47..32 select the sub-pager, the low 32 bits address the page
+// within it. One ConcurrentPool wrapped around a MultiPager gives every
+// shard of a sharded index a share of a single global cache budget —
+// cache memory is bounded for the whole index, not per shard.
+//
+// MultiPager adds no synchronization of its own (the routing table is
+// immutable); concurrent use follows the wrapped pagers' rules, and
+// distinct shards never share mutable state, so per-shard builds may
+// proceed in parallel as long as each shard is touched by one goroutine.
+type MultiPager struct {
+	subs []Pager
+}
+
+// NewMultiPager routes over subs; sub i serves shard i.
+func NewMultiPager(subs []Pager) (*MultiPager, error) {
+	if len(subs) == 0 {
+		return nil, errors.New("storage: multi pager needs at least one sub-pager")
+	}
+	if len(subs) > MaxShards {
+		return nil, fmt.Errorf("storage: %d sub-pagers exceed MaxShards (%d)", len(subs), MaxShards)
+	}
+	return &MultiPager{subs: subs}, nil
+}
+
+// NumShards returns the number of routed sub-pagers.
+func (m *MultiPager) NumShards() int { return len(m.subs) }
+
+// route resolves a tagged id to its sub-pager and local id.
+func (m *MultiPager) route(id PageID) (Pager, PageID, error) {
+	shard, local := SplitShardPageID(id)
+	if shard >= len(m.subs) {
+		return nil, InvalidPage, ErrPageOutOfRange
+	}
+	return m.subs[shard], local, nil
+}
+
+// Alloc implements Pager by failing: allocation is a build-time
+// operation and must target a specific shard through its ShardView.
+func (m *MultiPager) Alloc(Category) (PageID, error) {
+	return InvalidPage, ErrMultiPagerAlloc
+}
+
+// ReadPage implements Pager.
+func (m *MultiPager) ReadPage(id PageID, dst []byte) error {
+	sub, local, err := m.route(id)
+	if err != nil {
+		return err
+	}
+	return sub.ReadPage(local, dst)
+}
+
+// WritePage implements Pager.
+func (m *MultiPager) WritePage(id PageID, src []byte) error {
+	sub, local, err := m.route(id)
+	if err != nil {
+		return err
+	}
+	return sub.WritePage(local, src)
+}
+
+// CategoryOf implements Pager.
+func (m *MultiPager) CategoryOf(id PageID) Category {
+	sub, local, err := m.route(id)
+	if err != nil {
+		return CatUnknown
+	}
+	return sub.CategoryOf(local)
+}
+
+// SetCategory implements CategorySetter, forwarding to sub-pagers that
+// support it (index open paths restore measurement categories with it).
+func (m *MultiPager) SetCategory(id PageID, cat Category) {
+	sub, local, err := m.route(id)
+	if err != nil {
+		return
+	}
+	if cs, ok := sub.(CategorySetter); ok {
+		cs.SetCategory(local, cat)
+	}
+}
+
+// NumPages implements Pager with the total page count across shards.
+func (m *MultiPager) NumPages() uint64 {
+	var n uint64
+	for _, sub := range m.subs {
+		n += sub.NumPages()
+	}
+	return n
+}
+
+// Sync implements Pager, syncing every sub-pager.
+func (m *MultiPager) Sync() error {
+	for i, sub := range m.subs {
+		if err := sub.Sync(); err != nil {
+			return fmt.Errorf("storage: sync shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close implements Pager. Every sub-pager is closed even if one fails;
+// the first error is returned.
+func (m *MultiPager) Close() error {
+	var first error
+	for i, sub := range m.subs {
+		if err := sub.Close(); err != nil && first == nil {
+			first = fmt.Errorf("storage: close shard %d: %w", i, err)
+		}
+	}
+	return first
+}
+
+var (
+	_ Pager          = (*ShardView)(nil)
+	_ Pager          = (*MultiPager)(nil)
+	_ CategorySetter = (*ShardView)(nil)
+	_ CategorySetter = (*MultiPager)(nil)
+)

@@ -1,0 +1,207 @@
+package flat
+
+import (
+	"fmt"
+
+	"flat/internal/geom"
+	"flat/internal/shard"
+)
+
+// ShardedOptions configures BuildSharded. The zero value (or nil) gives
+// a memory-backed single shard — equivalent to an unsharded Build.
+type ShardedOptions struct {
+	// Shards is K, the number of spatial shards the data is split into
+	// along the Hilbert curve. 0 or 1 builds a single shard, which is
+	// bit-for-bit the unsharded index. See the README for choosing K.
+	Shards int
+	// PageCapacity caps elements per object page in every shard
+	// (default: a full page), as Options.PageCapacity.
+	PageCapacity int
+	// World is the space the data lives in, as Options.World; it also
+	// anchors the Hilbert grid of the shard assignment.
+	World MBR
+	// Dir, when non-empty, stores the index on disk: one page file per
+	// shard plus a manifest under this directory, reopenable with
+	// OpenSharded.
+	Dir string
+	// BufferPages bounds the page cache shared by all shards
+	// (<= 0: unbounded). The budget is global across shards, so K
+	// shards never hold more cache memory than one index would.
+	BufferPages int
+	// BuildWorkers bounds how many shards are bulkloaded concurrently
+	// (<= 0: GOMAXPROCS).
+	BuildWorkers int
+}
+
+// ShardedIndex is a spatially-partitioned FLAT index: K independent
+// shards behind a top-level MBR directory. Queries are pruned against
+// the directory and scatter-gathered over the shards they can touch,
+// with per-shard QueryStats merged into one. It satisfies Querier, and
+// its concurrency contract is the same as Index's: query methods are
+// safe for any number of goroutines; Close and DropCache return ErrBusy
+// while queries are in flight.
+type ShardedIndex struct {
+	set   *shard.Set
+	guard queryGuard
+}
+
+// BuildSharded bulkloads a sharded FLAT index over els (reordering the
+// slice in place: first along the Hilbert curve into shards, then per
+// shard by the STR pass). Shards are built in parallel on a bounded
+// worker pool. With opts.Shards <= 1 the result is an exact functional
+// twin of the unsharded Build — identical pages, results and read
+// counts — so callers can adopt the sharded API unconditionally.
+func BuildSharded(els []Element, opts *ShardedOptions) (*ShardedIndex, error) {
+	var o ShardedOptions
+	if opts != nil {
+		o = *opts
+	}
+	set, err := shard.Build(els, shard.Config{
+		Shards:       o.Shards,
+		PageCapacity: o.PageCapacity,
+		World:        o.World,
+		Dir:          o.Dir,
+		BufferPages:  o.BufferPages,
+		BuildWorkers: o.BuildWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{set: set}, nil
+}
+
+// OpenSharded loads a previously built disk-backed sharded index from
+// its directory with an unbounded shared page cache. It is shorthand
+// for OpenShardedWithOptions(dir, nil).
+func OpenSharded(dir string) (*ShardedIndex, error) {
+	return OpenShardedWithOptions(dir, nil)
+}
+
+// OpenShardedWithOptions loads a previously built disk-backed sharded
+// index from its directory. Only ShardedOptions.BufferPages is
+// consulted; the shard count and geometry come from the manifest.
+func OpenShardedWithOptions(dir string, opts *ShardedOptions) (*ShardedIndex, error) {
+	var o ShardedOptions
+	if opts != nil {
+		o = *opts
+	}
+	set, err := shard.Open(dir, o.BufferPages)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{set: set}, nil
+}
+
+// RangeQuery returns every indexed element whose MBR intersects q. The
+// stats are the merged per-shard statistics of the scatter-gather; the
+// result concatenates the surviving shards' results in shard order, so
+// it is deterministic for a given index. It is safe for concurrent use.
+func (sx *ShardedIndex) RangeQuery(q MBR) ([]Element, QueryStats, error) {
+	if err := sx.guard.enter(); err != nil {
+		return nil, QueryStats{}, err
+	}
+	defer sx.guard.exit()
+	return sx.set.RangeQuery(q)
+}
+
+// CountQuery returns the number of elements intersecting q without
+// materializing them. It is safe for concurrent use.
+func (sx *ShardedIndex) CountQuery(q MBR) (int, QueryStats, error) {
+	if err := sx.guard.enter(); err != nil {
+		return 0, QueryStats{}, err
+	}
+	defer sx.guard.exit()
+	return sx.set.CountQuery(q)
+}
+
+// PointQuery returns the elements whose MBR contains p. It is safe for
+// concurrent use.
+func (sx *ShardedIndex) PointQuery(p Vec3) ([]Element, QueryStats, error) {
+	return sx.RangeQuery(geom.PointBox(p))
+}
+
+// BatchRangeQuery executes the queries concurrently on a pool of
+// workers and returns per-query results in input order, with the same
+// semantics as Index.BatchRangeQuery (each query additionally fans out
+// over its shards).
+func (sx *ShardedIndex) BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, error) {
+	if err := sx.guard.enter(); err != nil {
+		return nil, err
+	}
+	defer sx.guard.exit()
+	out := make([]BatchResult, len(queries))
+	err := runBatch(len(queries), workers, func(i int) error {
+		els, st, err := sx.set.RangeQuery(queries[i])
+		out[i] = BatchResult{Elements: els, Stats: st}
+		return err
+	})
+	return out, err
+}
+
+// BatchCountQuery is BatchRangeQuery without materializing result
+// elements: it returns each query's hit count and stats in input order.
+func (sx *ShardedIndex) BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStats, error) {
+	if err := sx.guard.enter(); err != nil {
+		return nil, nil, err
+	}
+	defer sx.guard.exit()
+	counts := make([]int, len(queries))
+	stats := make([]QueryStats, len(queries))
+	err := runBatch(len(queries), workers, func(i int) error {
+		n, st, err := sx.set.CountQuery(queries[i])
+		counts[i], stats[i] = n, st
+		return err
+	})
+	return counts, stats, err
+}
+
+// Len returns the total number of indexed elements across shards.
+func (sx *ShardedIndex) Len() int { return sx.set.Len() }
+
+// NumShards returns K, the number of spatial shards.
+func (sx *ShardedIndex) NumShards() int { return sx.set.NumShards() }
+
+// NumPartitions returns the total number of partitions (object pages)
+// across shards.
+func (sx *ShardedIndex) NumPartitions() int { return sx.set.NumPartitions() }
+
+// ShardBounds returns the directory entry (the data bounds) of shard i;
+// a query is routed to shard i exactly when its box intersects this.
+func (sx *ShardedIndex) ShardBounds(i int) MBR { return sx.set.ShardBounds(i) }
+
+// Bounds returns the bounding box of the indexed data.
+func (sx *ShardedIndex) Bounds() MBR { return sx.set.Bounds() }
+
+// World returns the space the shard assignment was derived in.
+func (sx *ShardedIndex) World() MBR { return sx.set.World() }
+
+// SizeBytes returns the on-disk footprint across all shards.
+func (sx *ShardedIndex) SizeBytes() uint64 { return sx.set.SizeBytes() }
+
+// DropCache empties the shared page cache so the next query starts
+// cold. Like Index.DropCache it returns ErrBusy while queries are in
+// flight and ErrClosed after Close.
+func (sx *ShardedIndex) DropCache() error {
+	if err := sx.guard.maintain(); err != nil {
+		return err
+	}
+	defer sx.guard.release()
+	sx.set.DropCache()
+	return nil
+}
+
+// Close releases every shard's storage. When queries are in flight it
+// returns ErrBusy and closes nothing; after a successful Close every
+// method returns ErrClosed.
+func (sx *ShardedIndex) Close() error {
+	if err := sx.guard.shutdown(); err != nil {
+		return err
+	}
+	return sx.set.Close()
+}
+
+// String summarizes the index.
+func (sx *ShardedIndex) String() string {
+	return fmt.Sprintf("flat.ShardedIndex{shards: %d, elements: %d, partitions: %d, %.1f MiB}",
+		sx.NumShards(), sx.Len(), sx.NumPartitions(), float64(sx.SizeBytes())/(1<<20))
+}
