@@ -14,12 +14,22 @@
 //	flatindex -data brain.flte -point "5,5,5"
 //	flatindex -data brain.flte -compare -query "0,0,0,4,4,4"
 //	flatindex -data brain.flte -shards 4 -index brain.shards -stats
+//	flatindex -data brain.flte -shards 4 -index brain.shards -insert delta.flte -rebuild
 //
 // With -shards K (K > 1) the data is split into K spatial shards built
 // in parallel and queried scatter-gather (flat.BuildSharded); -index
 // then names a directory instead of a single page file. All query paths
 // go through the flat.Querier contract, so they are identical for both
 // index kinds.
+//
+// A sharded index accepts updates between bulkloads: -insert stages
+// the elements of another element file, -delete stages removals by
+// element id, and -rebuild folds the staged changes in by re-bulkloading
+// only the shards they touch (each rebuilt shard writes a new
+// generation of its page file; the manifest swap is atomic, so a crash
+// mid-rebuild leaves the previous generation openable). Staged changes
+// are visible to the -query/-point of the same invocation even without
+// -rebuild, but are lost at exit unless -rebuild persists them.
 package main
 
 import (
@@ -43,6 +53,9 @@ func main() {
 		compare = flag.Bool("compare", false, "also run the query on the three R-tree baselines")
 		limit   = flag.Int("limit", 10, "max result elements to print (0: count only)")
 		shards  = flag.Int("shards", 1, "number of spatial shards (>1: sharded index; -index names a directory)")
+		insert  = flag.String("insert", "", "element file whose contents are staged for insertion (sharded index only)")
+		del     = flag.String("delete", "", "comma-separated element ids staged for deletion (sharded index only)")
+		rebuild = flag.Bool("rebuild", false, "fold staged updates in by re-bulkloading only the dirty shards")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -108,6 +121,68 @@ func main() {
 		case *flat.ShardedIndex:
 			for s := 0; s < v.NumShards(); s++ {
 				fmt.Printf("  shard %d:      %v\n", s, v.ShardBounds(s))
+			}
+		}
+	}
+
+	// Staged updates + incremental rebuild (sharded index only).
+	if *insert != "" || *del != "" || *rebuild {
+		sx, ok := ix.(*flat.ShardedIndex)
+		if !ok {
+			fatalf("-insert/-delete/-rebuild require a sharded index (use -shards > 1)")
+		}
+		// Deletes are resolved first, against the index contents as they
+		// were before this invocation's -insert: staging follows
+		// last-op-wins, so inserts staged after the deletes are never
+		// doomed by them.
+		if *del != "" {
+			doomed := make(map[uint64]bool)
+			for _, part := range strings.Split(*del, ",") {
+				id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+				if err != nil {
+					fatalf("bad -delete id %q: %v", part, err)
+				}
+				doomed[id] = true
+			}
+			// Resolve each id's box by scanning the index: StageDelete
+			// identifies elements by their full (id, box) pair.
+			all, _, err := sx.RangeQuery(sx.Bounds())
+			if err != nil {
+				fatalf("scan for -delete: %v", err)
+			}
+			staged := 0
+			for _, e := range all {
+				if doomed[e.ID] {
+					if err := sx.StageDelete(e.ID, e.Box); err != nil {
+						fatalf("stage delete: %v", err)
+					}
+					staged++
+				}
+			}
+			fmt.Printf("staged %d deletes for %d ids\n", staged, len(doomed))
+		}
+		if *insert != "" {
+			add, err := datagen.LoadElements(*insert)
+			if err != nil {
+				fatalf("load %s: %v", *insert, err)
+			}
+			if err := sx.StageInsert(add...); err != nil {
+				fatalf("stage insert: %v", err)
+			}
+			fmt.Printf("staged %d inserts from %s\n", len(add), *insert)
+		}
+		if *rebuild {
+			dirty, err := sx.DirtyShards()
+			if err != nil {
+				fatalf("dirty shards: %v", err)
+			}
+			rebuilt, err := sx.Rebuild()
+			if err != nil {
+				fatalf("rebuild: %v", err)
+			}
+			fmt.Printf("rebuilt %d of %d shards %v (dirty: %v)\n", len(rebuilt), sx.NumShards(), rebuilt, dirty)
+			for _, s := range rebuilt {
+				fmt.Printf("  shard %d now generation %d, bounds %v\n", s, sx.ShardGeneration(s), sx.ShardBounds(s))
 			}
 		}
 	}

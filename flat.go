@@ -26,9 +26,12 @@
 //	hits, stats, err := ix.RangeQuery(flat.Box(flat.V(0, 0, 0), flat.V(2.5, 2.5, 2.5)))
 //
 // The index is bulkloaded: like the system in the paper, it does not
-// support incremental updates — rebuild when the data set changes
+// support in-place updates — rebuild when the data set changes
 // (Section IV: models change rarely and in batches, making reindexing
-// cheaper than maintaining update machinery).
+// cheaper than maintaining update machinery). The sharded index
+// shrinks the rebuild unit: ShardedIndex.StageInsert/StageDelete stage
+// a batch of changes (visible to queries immediately) and Rebuild
+// re-bulkloads only the shards the batch touches.
 //
 // Page reads are the library's cost model, mirroring the paper's
 // evaluation: every query reports how many 4 KiB pages it touched, split
@@ -61,6 +64,7 @@ package flat
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -154,6 +158,10 @@ type Options struct {
 	// PageCapacity caps elements per object page (default: a full page,
 	// 73 elements).
 	PageCapacity int
+	// SeedFanout caps the entries per seed-tree internal node (default:
+	// a full page). Smaller fanouts deepen the seed tree; the paper's
+	// scaled-down experiments shrink it together with PageCapacity.
+	SeedFanout int
 	// Path, when non-empty, stores the index in a page file on disk at
 	// the given path instead of in memory.
 	Path string
@@ -189,20 +197,27 @@ func Build(els []Element, opts *Options) (*Index, error) {
 	} else {
 		pager = storage.NewMemPager()
 	}
+	// A failed disk build must not leak a partial page file at Path.
+	fail := func(err error) (*Index, error) {
+		pager.Close()
+		if o.Path != "" {
+			os.Remove(o.Path)
+		}
+		return nil, err
+	}
 	pool := storage.NewConcurrentPool(pager, o.BufferPages)
 	inner, err := core.Build(pool, els, core.Options{
 		PageCapacity: o.PageCapacity,
+		SeedFanout:   o.SeedFanout,
 		World:        o.World,
 	})
 	if err != nil {
-		pager.Close()
-		return nil, err
+		return fail(err)
 	}
 	if o.Path != "" {
 		// Persist the superblock so the index can be reopened with Open.
 		if err := inner.WriteSuper(); err != nil {
-			pager.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
 	// Hand back a cold index: construction leaves every page cached,

@@ -1,0 +1,256 @@
+package flat
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestShardedStagedUpdates drives the public staged-update cycle:
+// stage, query the overlay, rebuild, reopen.
+func TestShardedStagedUpdates(t *testing.T) {
+	r := rand.New(rand.NewSource(96))
+	els := randomElements(r, 3000)
+	orig := append([]Element(nil), els...)
+	dir := filepath.Join(t.TempDir(), "staged")
+	sx, err := BuildSharded(els, &ShardedOptions{Shards: 4, PageCapacity: 16, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage a batch of inserts at one spot and one delete.
+	fresh := make([]Element, 30)
+	for i := range fresh {
+		fresh[i] = Element{ID: 500000 + uint64(i), Box: CubeAt(V(25, 75, 25), 2)}
+	}
+	if err := sx.StageInsert(fresh...); err != nil {
+		t.Fatal(err)
+	}
+	victim := orig[42]
+	if err := sx.StageDelete(victim.ID, victim.Box); err != nil {
+		t.Fatal(err)
+	}
+	ins, dels, err := sx.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins != len(fresh) || dels != 1 {
+		t.Fatalf("Pending = (%d, %d), want (%d, 1)", ins, dels, len(fresh))
+	}
+	dirty, err := sx.DirtyShards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) == 0 || len(dirty) > sx.NumShards() {
+		t.Fatalf("DirtyShards = %v", dirty)
+	}
+
+	// The overlay serves reads before any rebuild.
+	merged := make([]Element, 0, len(orig)+len(fresh))
+	for _, e := range orig {
+		if !(e.ID == victim.ID && e.Box == victim.Box) {
+			merged = append(merged, e)
+		}
+	}
+	merged = append(merged, fresh...)
+	for i, q := range append(queryWorkload(r, 15), CubeAt(V(25, 75, 25), 5)) {
+		got, st, err := sx.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(got), apiBrute(merged, q)) {
+			t.Fatalf("query %d: overlay diverges from brute force", i)
+		}
+		checkStats(t, st, len(got))
+		n, cst, err := sx.CountQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(got) {
+			t.Errorf("query %d: count %d != %d range results", i, n, len(got))
+		}
+		checkStats(t, cst, n)
+	}
+
+	// Rebuild folds the changes in; the index now reports them in Len.
+	rebuilt, err := sx.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rebuilt shard was a dirty candidate (candidates whose
+	// contents turn out unchanged may be skipped).
+	if len(rebuilt) == 0 || len(rebuilt) > len(dirty) {
+		t.Fatalf("Rebuild() = %v, DirtyShards candidates %v", rebuilt, dirty)
+	}
+	isDirty := make(map[int]bool)
+	for _, s := range dirty {
+		isDirty[s] = true
+	}
+	for _, s := range rebuilt {
+		if !isDirty[s] {
+			t.Fatalf("rebuilt shard %d was not a dirty candidate %v", s, dirty)
+		}
+	}
+	for _, s := range rebuilt {
+		if sx.ShardGeneration(s) == 0 {
+			t.Errorf("rebuilt shard %d still at generation 0", s)
+		}
+	}
+	if sx.Len() != len(merged) {
+		t.Fatalf("Len after rebuild = %d, want %d", sx.Len(), len(merged))
+	}
+	for i, q := range append(queryWorkload(r, 15), CubeAt(V(25, 75, 25), 5)) {
+		got, _, err := sx.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(got), apiBrute(merged, q)) {
+			t.Fatalf("query %d: post-rebuild results diverge", i)
+		}
+	}
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rebuilt state is what a fresh open sees.
+	re, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != len(merged) {
+		t.Fatalf("reopened Len = %d, want %d", re.Len(), len(merged))
+	}
+	q := CubeAt(V(25, 75, 25), 5)
+	got, _, err := re.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameIDs(idsOf(got), apiBrute(merged, q)) {
+		t.Fatal("reopened index diverges from brute force")
+	}
+}
+
+// TestRebuildRefusesInFlightQueries pins the maintenance contract:
+// Rebuild returns ErrBusy instead of racing live queries, while
+// staging calls remain safe concurrently with them. -race certifies
+// the "never race" half.
+func TestRebuildRefusesInFlightQueries(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	els := randomElements(r, 3000)
+	sx, err := BuildSharded(els, &ShardedOptions{Shards: 4, PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := queryWorkload(r, 10)
+
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		busySeen atomic.Int64
+		okSeen   atomic.Int64
+	)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := uint64(600000 + g*10000)
+			for !stop.Load() {
+				for _, q := range queries {
+					n, st, err := sx.CountQuery(q)
+					if err != nil {
+						t.Errorf("query during rebuild pressure: %v", err)
+						return
+					}
+					if st.Results != n {
+						t.Errorf("inconsistent stats under rebuild pressure")
+						return
+					}
+				}
+				// Staging is a query-side operation: legal while other
+				// queries (and rebuild attempts) are in flight.
+				if err := sx.StageInsert(Element{ID: id, Box: CubeAt(V(50, 50, 50), 1)}); err != nil {
+					t.Errorf("StageInsert during queries: %v", err)
+					return
+				}
+				id++
+				// Accessors must not race a concurrent Rebuild either
+				// (-race certifies it): Rebuild swaps the fields they read.
+				_ = sx.Len()
+				_ = sx.Bounds()
+				_ = sx.ShardGeneration(0)
+				_ = sx.SizeBytes()
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := sx.Rebuild(); err != nil {
+			if !errors.Is(err, ErrBusy) {
+				stop.Store(true)
+				wg.Wait()
+				t.Fatalf("Rebuild: %v", err)
+			}
+			busySeen.Add(1)
+		} else {
+			okSeen.Add(1)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if busySeen.Load() == 0 {
+		t.Log("no Rebuild call collided with a query; contention untested this run")
+	}
+	// Deterministic coherence check once the dust settles: whatever the
+	// goroutines staged plus one known element all fold in and serve.
+	if err := sx.StageInsert(Element{ID: 777777, Box: CubeAt(V(50, 50, 50), 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sx.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if ins, dels, err := sx.Pending(); err != nil || ins != 0 || dels != 0 {
+		t.Fatalf("pending after drain: (%d, %d, %v)", ins, dels, err)
+	}
+	got, _, err := sx.RangeQuery(CubeAt(V(50, 50, 50), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range got {
+		found = found || e.ID == 777777
+	}
+	if !found {
+		t.Error("folded-in staged element is not queryable")
+	}
+
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sx.Rebuild(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Rebuild after Close: %v, want ErrClosed", err)
+	}
+	if err := sx.StageInsert(Element{ID: 1, Box: CubeAt(V(0, 0, 0), 1)}); !errors.Is(err, ErrClosed) {
+		t.Errorf("StageInsert after Close: %v, want ErrClosed", err)
+	}
+	if err := sx.StageDelete(1, CubeAt(V(0, 0, 0), 1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("StageDelete after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestBuildFailureRemovesPartialFile: the unsharded disk build must not
+// leave a partial page file behind when the bulkload fails.
+func TestBuildFailureRemovesPartialFile(t *testing.T) {
+	r := rand.New(rand.NewSource(98))
+	els := randomElements(r, 100)
+	path := filepath.Join(t.TempDir(), "partial.flat")
+	if _, err := Build(els, &Options{Path: path, PageCapacity: 100000}); err == nil {
+		t.Fatal("build with absurd page capacity should fail")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("failed build left %s behind (stat err: %v)", path, err)
+	}
+}

@@ -1,6 +1,7 @@
 package flat
 
 import (
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -89,40 +90,51 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 // half: a 1-shard index serves every query with exactly the page reads
 // of the unsharded index.
 func TestShardedColdReadParityK1(t *testing.T) {
-	r := rand.New(rand.NewSource(91))
-	els := randomElements(r, 4000)
-	orig := append([]Element(nil), els...)
-	queries := queryWorkload(r, 25)
+	// The fanout=8 case keeps Options.SeedFanout and
+	// ShardedOptions.SeedFanout honest: a smaller fanout deepens the
+	// seed tree, so a knob dropped on either path shows up as a
+	// read-count mismatch.
+	for _, fanout := range []int{0, 8} {
+		t.Run(fmt.Sprintf("fanout=%d", fanout), func(t *testing.T) {
+			r := rand.New(rand.NewSource(91))
+			els := randomElements(r, 4000)
+			orig := append([]Element(nil), els...)
+			queries := queryWorkload(r, 25)
 
-	base, err := Build(append([]Element(nil), orig...), &Options{PageCapacity: 16})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer base.Close()
-	sx, err := BuildSharded(append([]Element(nil), orig...), &ShardedOptions{Shards: 1, PageCapacity: 16})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sx.Close()
+			base, err := Build(append([]Element(nil), orig...), &Options{PageCapacity: 16, SeedFanout: fanout})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer base.Close()
+			sx, err := BuildSharded(append([]Element(nil), orig...), &ShardedOptions{Shards: 1, PageCapacity: 16, SeedFanout: fanout})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sx.Close()
 
-	for i, q := range queries {
-		if err := base.DropCache(); err != nil {
-			t.Fatal(err)
-		}
-		if err := sx.DropCache(); err != nil {
-			t.Fatal(err)
-		}
-		_, wantStats, err := base.RangeQuery(q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		_, gotStats, err := sx.RangeQuery(q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if gotStats != wantStats {
-			t.Errorf("query %d: sharded K=1 stats %+v, unsharded %+v", i, gotStats, wantStats)
-		}
+			if fanout != 0 && base.SeedHeight() < 3 {
+				t.Fatalf("fanout %d did not deepen the seed tree (height %d) — knob not plumbed?", fanout, base.SeedHeight())
+			}
+			for i, q := range queries {
+				if err := base.DropCache(); err != nil {
+					t.Fatal(err)
+				}
+				if err := sx.DropCache(); err != nil {
+					t.Fatal(err)
+				}
+				_, wantStats, err := base.RangeQuery(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, gotStats, err := sx.RangeQuery(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotStats != wantStats {
+					t.Errorf("query %d: sharded K=1 stats %+v, unsharded %+v", i, gotStats, wantStats)
+				}
+			}
+		})
 	}
 }
 

@@ -149,7 +149,11 @@ func TestWriteJSON(t *testing.T) {
 	}
 	var report struct {
 		Experiment string `json:"experiment"`
-		Tables     []struct {
+		Env        struct {
+			GOMAXPROCS int    `json:"gomaxprocs"`
+			GoVersion  string `json:"go_version"`
+		} `json:"env"`
+		Tables []struct {
 			ID      string              `json:"id"`
 			Columns []string            `json:"columns"`
 			Rows    []map[string]string `json:"rows"`
@@ -161,6 +165,11 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if report.Experiment != "shards" || len(report.Tables) != 1 {
 		t.Fatalf("report shape: %+v", report)
+	}
+	// Artifacts must carry the machine stamp: parallel speedups are only
+	// interpretable next to the GOMAXPROCS they were measured under.
+	if report.Env.GOMAXPROCS < 1 || report.Env.GoVersion == "" {
+		t.Fatalf("artifact env stamp missing: %+v", report.Env)
 	}
 	got := report.Tables[0]
 	if got.ID != "shards" || got.Note != "note" || len(got.Rows) != 2 {

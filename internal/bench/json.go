@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 )
 
 // Machine-readable benchmark artifacts. Each experiment's tables can be
@@ -27,9 +28,22 @@ type jsonTable struct {
 	Note    string    `json:"note,omitempty"`
 }
 
+// jsonEnv records the machine the numbers were measured on. Parallel
+// build and scatter speedups are bounded by GOMAXPROCS, so artifacts
+// from a single-core container (≈1× speedups) and a multi-core CI
+// runner are only comparable with this stamp.
+type jsonEnv struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
 // jsonReport is the top-level BENCH_<experiment>.json document.
 type jsonReport struct {
 	Experiment string      `json:"experiment"`
+	Env        jsonEnv     `json:"env"`
 	Tables     []jsonTable `json:"tables"`
 }
 
@@ -41,7 +55,16 @@ func JSONFileName(experiment string) string {
 // WriteJSON writes the experiment's tables as BENCH_<experiment>.json
 // under dir (created if missing) and returns the file path.
 func WriteJSON(dir, experiment string, tables []*Table) (string, error) {
-	report := jsonReport{Experiment: experiment}
+	report := jsonReport{
+		Experiment: experiment,
+		Env: jsonEnv{
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+		},
+	}
 	for _, t := range tables {
 		jt := jsonTable{ID: t.ID, Title: t.Title, Columns: t.Columns, Note: t.Note}
 		for _, row := range t.Rows {

@@ -2,9 +2,13 @@ package shard
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 
 	"flat/internal/geom"
 	"flat/internal/storage"
@@ -12,91 +16,281 @@ import (
 
 // On-disk layout of a sharded index directory:
 //
-//	<dir>/MANIFEST.json   shard count + world box
-//	<dir>/shard-0000.flat per-shard FLAT page files (superblock last)
-//	<dir>/shard-0001.flat
+//	<dir>/MANIFEST.json            shard directory (see manifest below)
+//	<dir>/shard-0000.flat          shard 0, generation 0 (superblock last)
+//	<dir>/shard-0001.gen-3.flat    shard 1, generation 3
 //	...
 //
 // Each shard file is an ordinary FLAT page file whose stored page ids
 // carry the shard's tag (see storage.ShardView), so opening splices the
 // files behind one storage.MultiPager with no translation pass.
+//
+// The manifest is the commit point of every build and rebuild: shard
+// files are written and fsynced first under fresh generation-suffixed
+// names, then the manifest is atomically replaced (temp file + fsync +
+// rename), then files no longer referenced are garbage-collected. A
+// crash at any point leaves either the old or the new manifest in
+// place, and every file the surviving manifest references is complete —
+// the previous generation stays fully openable. Unreferenced files that
+// a crash may strand are removed by the next successful build/rebuild's
+// GC pass and are ignored by Open.
 
 // ManifestName is the manifest file's name within the index directory.
 const ManifestName = "MANIFEST.json"
 
-const manifestVersion = 1
+// manifestTempName is the scratch file the manifest is staged in before
+// the atomic rename; a leftover one (torn write) is ignored and GCed.
+const manifestTempName = ManifestName + ".tmp"
+
+const (
+	manifestV1 = 1
+	manifestV2 = 2
+)
+
+// shardEntry describes one shard in a v2 manifest.
+type shardEntry struct {
+	// File is the shard's page-file name within the index directory.
+	File string `json:"file"`
+	// Generation counts this shard's rebuilds; each rebuild writes a new
+	// file under a fresh generation-suffixed name.
+	Generation uint64 `json:"generation"`
+	// Bounds is the shard's data bounds (min x,y,z then max x,y,z).
+	Bounds [6]float64 `json:"bounds"`
+	// Elements is the shard's element count, cross-checked on Open; -1
+	// (synthesized for v1 manifests) skips the check.
+	Elements int `json:"elements"`
+}
 
 type manifest struct {
 	Version int        `json:"version"`
 	Shards  int        `json:"shards"`
 	World   [6]float64 `json:"world"` // min x,y,z then max x,y,z
+	// Build knobs, persisted so a reopened index rebuilds its shards
+	// exactly as the original build did (0 = the core defaults).
+	PageCapacity int `json:"page_capacity,omitempty"`
+	SeedFanout   int `json:"seed_fanout,omitempty"`
+	// Entries is the per-shard directory (v2; absent in v1 manifests).
+	Entries []shardEntry `json:"entries,omitempty"`
 }
 
-// shardFile returns the page-file path of shard s under dir.
-func shardFile(dir string, s int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard-%04d.flat", s))
+func mbrToArray(m geom.MBR) [6]float64 {
+	return [6]float64{m.Min.X, m.Min.Y, m.Min.Z, m.Max.X, m.Max.Y, m.Max.Z}
 }
 
-func writeManifest(dir string, shards int, world geom.MBR) error {
-	m := manifest{
-		Version: manifestVersion,
-		Shards:  shards,
-		World: [6]float64{
-			world.Min.X, world.Min.Y, world.Min.Z,
-			world.Max.X, world.Max.Y, world.Max.Z,
-		},
+func arrayToMBR(a [6]float64) geom.MBR {
+	return geom.MBR{Min: geom.V(a[0], a[1], a[2]), Max: geom.V(a[3], a[4], a[5])}
+}
+
+// shardFileName returns the page-file name of shard s at generation
+// gen. Generation 0 keeps the historical un-suffixed name, so fresh
+// builds remain readable by (and byte-identical to) the v1 layout.
+func shardFileName(s int, gen uint64) string {
+	if gen == 0 {
+		return fmt.Sprintf("shard-%04d.flat", s)
 	}
+	return fmt.Sprintf("shard-%04d.gen-%d.flat", s, gen)
+}
+
+// shardFile returns the generation-0 page-file path of shard s under
+// dir (the name fresh builds use).
+func shardFile(dir string, s int) string {
+	return filepath.Join(dir, shardFileName(s, 0))
+}
+
+// shardFilePattern matches any shard page file, any generation; the GC
+// pass uses it to recognize strandable files without touching anything
+// else a user may keep in the directory. %04d widens past four digits
+// (MaxShards is 65536), hence \d{4,}.
+var shardFilePattern = regexp.MustCompile(`^shard-\d{4,}(\.gen-\d+)?\.flat$`)
+
+// writeManifest atomically replaces dir's manifest: the JSON is staged
+// in a temp file in the same directory, fsynced, and renamed over
+// ManifestName. The rename is the commit point every build and rebuild
+// relies on — a crash mid-write leaves the old manifest untouched.
+func writeManifest(dir string, m manifest) error {
+	m.Version = manifestV2
+	m.Shards = len(m.Entries)
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, ManifestName), append(data, '\n'), 0o644)
+	data = append(data, '\n')
+	tmp := filepath.Join(dir, manifestTempName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: stage manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("shard: stage manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("shard: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: close manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("shard: commit manifest: %w", err)
+	}
+	// Make the rename itself durable. Past this point the swap has
+	// already happened in the file system's logical state, so a sync
+	// failure is reported as errManifestNotDurable: callers must treat
+	// the new manifest as committed (its files may NOT be deleted) but
+	// should keep the old generation's files in case a crash loses the
+	// un-synced rename.
+	if d, err := os.Open(dir); err == nil {
+		syncErr := d.Sync()
+		d.Close()
+		if syncErr != nil {
+			return fmt.Errorf("shard: sync index dir: %v: %w", syncErr, errManifestNotDurable)
+		}
+	}
+	return nil
 }
 
-func readManifest(dir string) (shards int, world geom.MBR, err error) {
+// errManifestNotDurable marks a writeManifest outcome where the
+// manifest swap succeeded (the new manifest is in place and must be
+// honored) but could not be fsynced to disk.
+var errManifestNotDurable = errors.New("shard: manifest swap committed but not durable")
+
+// readManifest loads and normalizes dir's manifest. Version 1 manifests
+// (shard count + world only) are synthesized into the v2 form: per-shard
+// generation-0 file names and unknown (-1) element counts.
+func readManifest(dir string) (manifest, error) {
 	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
-		return 0, geom.MBR{}, fmt.Errorf("shard: read manifest: %w", err)
+		return manifest{}, fmt.Errorf("shard: read manifest: %w", err)
 	}
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return 0, geom.MBR{}, fmt.Errorf("shard: parse manifest: %w", err)
+		return manifest{}, fmt.Errorf("shard: parse manifest: %w", err)
 	}
-	if m.Version != manifestVersion {
-		return 0, geom.MBR{}, fmt.Errorf("shard: unsupported manifest version %d", m.Version)
+	switch m.Version {
+	case manifestV1:
+		if m.Shards < 1 || m.Shards > storage.MaxShards {
+			return manifest{}, fmt.Errorf("shard: manifest shard count %d out of range", m.Shards)
+		}
+		m.Entries = make([]shardEntry, m.Shards)
+		for s := range m.Entries {
+			m.Entries[s] = shardEntry{File: shardFileName(s, 0), Elements: -1}
+		}
+	case manifestV2:
+		if len(m.Entries) < 1 || len(m.Entries) > storage.MaxShards {
+			return manifest{}, fmt.Errorf("shard: manifest entry count %d out of range", len(m.Entries))
+		}
+		if m.Shards != len(m.Entries) {
+			return manifest{}, fmt.Errorf("shard: manifest shard count %d does not match its %d entries", m.Shards, len(m.Entries))
+		}
+		for s, e := range m.Entries {
+			if e.File == "" || e.File != filepath.Base(e.File) {
+				return manifest{}, fmt.Errorf("shard: manifest entry %d has invalid file name %q", s, e.File)
+			}
+		}
+	default:
+		return manifest{}, fmt.Errorf("shard: unsupported manifest version %d", m.Version)
 	}
-	if m.Shards < 1 || m.Shards > storage.MaxShards {
-		return 0, geom.MBR{}, fmt.Errorf("shard: manifest shard count %d out of range", m.Shards)
-	}
-	world = geom.MBR{
-		Min: geom.V(m.World[0], m.World[1], m.World[2]),
-		Max: geom.V(m.World[3], m.World[4], m.World[5]),
-	}
-	return m.Shards, world, nil
+	return m, nil
 }
 
-// createPagers makes the per-shard pagers: page files under dir when dir
-// is non-empty (creating the directory), memory pagers otherwise.
-func createPagers(dir string, k int) ([]storage.Pager, error) {
+// nextGeneration returns the generation a new build into dir should
+// write its shard files under: 0 for a fresh (or manifest-less)
+// directory, one past the newest referenced generation when a manifest
+// already commits an index there — so the old index's files are never
+// overwritten and stay openable until the new manifest lands. A
+// manifest that exists but cannot be read is an error: building at
+// generation 0 would truncate the page files the unreadable manifest
+// may still reference.
+func nextGeneration(dir string) (uint64, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("shard: directory holds an index that cannot be read (remove it to force a fresh build): %w", err)
+	}
+	var maxGen uint64
+	for _, e := range m.Entries {
+		if e.Generation > maxGen {
+			maxGen = e.Generation
+		}
+		// Defend against hand-edited manifests whose file names disagree
+		// with the recorded generation field.
+		if g, ok := generationOfFile(e.File); ok && g > maxGen {
+			maxGen = g
+		}
+	}
+	return maxGen + 1, nil
+}
+
+// generationOfFile parses the generation out of a shard file name.
+func generationOfFile(name string) (uint64, bool) {
+	sub := shardFilePattern.FindStringSubmatch(name)
+	if sub == nil {
+		return 0, false
+	}
+	if sub[1] == "" {
+		return 0, true
+	}
+	g, err := strconv.ParseUint(sub[1][len(".gen-"):len(sub[1])-len(".flat")], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return g, true
+}
+
+// gcStale removes every shard page file in dir that keep does not
+// reference, plus any leftover manifest temp file. It runs after a
+// successful manifest swap, when the unreferenced files are garbage by
+// construction (old generations, stale shards of a previous K, strands
+// of a crashed build). Removal failures are ignored: a stray file costs
+// disk space, not correctness, and the next GC retries.
+func gcStale(dir string, keep map[string]bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestTempName || (shardFilePattern.MatchString(name) && !keep[name]) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// createPagers makes the per-shard pagers for a build at the given
+// generation: page files under dir when dir is non-empty (creating the
+// directory), memory pagers otherwise. It returns the created file
+// paths so a failed build can remove its partial output.
+func createPagers(dir string, k int, gen uint64) ([]storage.Pager, []string, error) {
 	pagers := make([]storage.Pager, k)
 	if dir == "" {
 		for s := range pagers {
 			pagers[s] = storage.NewMemPager()
 		}
-		return pagers, nil
+		return pagers, nil, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("shard: create index dir: %w", err)
+		return nil, nil, fmt.Errorf("shard: create index dir: %w", err)
 	}
+	files := make([]string, k)
 	for s := range pagers {
-		fp, err := storage.CreateFilePager(shardFile(dir, s))
+		path := filepath.Join(dir, shardFileName(s, gen))
+		fp, err := storage.CreateFilePager(path)
 		if err != nil {
-			for _, p := range pagers[:s] {
+			for i, p := range pagers[:s] {
 				p.Close()
+				os.Remove(files[i])
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		pagers[s] = fp
+		files[s] = path
 	}
-	return pagers, nil
+	return pagers, files, nil
 }

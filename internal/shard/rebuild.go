@@ -1,0 +1,446 @@
+// Staged updates and the incremental per-shard rebuild.
+//
+// FLAT is a bulkloading index: the paper's models change rarely and in
+// batches, so it rebuilds instead of maintaining update machinery.
+// Sharding shrinks the rebuild unit — when a batch of changes touches a
+// fraction of the space, only the shards it lands in need a new
+// bulkload. This file implements that: updates are staged in memory
+// (StageInsert routes each element to a shard through the MBR
+// directory; StageDelete records the doomed element), overlaid on query
+// results so reads stay correct between rebuilds, and folded in by
+// Rebuild, which re-bulkloads only the dirty shards.
+//
+// On disk the rebuild is crash-safe: each dirty shard writes a complete
+// new generation-suffixed page file first (fsynced), then the manifest
+// is atomically swapped to reference the new generation, then the old
+// generation is garbage-collected. A crash at any point leaves a
+// manifest whose referenced files are all complete — before the swap
+// the previous generation still opens, after it the new one does.
+
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"flat/internal/core"
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+// pendingDelete is one staged deletion: the element is identified by
+// its full (ID, Box) pair, since IDs are opaque caller keys the index
+// never assumes unique. seq orders it against staged inserts so that
+// staging follows last-op-wins semantics (a delete only dooms inserts
+// staged before it; an insert staged after a matching delete restores
+// the element).
+type pendingDelete struct {
+	ID  uint64
+	Box geom.MBR
+	seq uint64
+}
+
+// stagedInsert is one staged insertion with its staging-order stamp.
+type stagedInsert struct {
+	el  geom.Element
+	seq uint64
+}
+
+// matchesDelete reports whether e is doomed by any staged delete.
+// Bulkloaded elements predate the whole staging epoch, so every delete
+// applies to them.
+func matchesDelete(dels []pendingDelete, e geom.Element) bool {
+	for _, d := range dels {
+		if d.ID == e.ID && d.Box == e.Box {
+			return true
+		}
+	}
+	return false
+}
+
+// matchesDeleteAfter reports whether a staged insert stamped seq is
+// doomed by a delete staged later than it.
+func matchesDeleteAfter(dels []pendingDelete, e geom.Element, seq uint64) bool {
+	for _, d := range dels {
+		if d.seq > seq && d.ID == e.ID && d.Box == e.Box {
+			return true
+		}
+	}
+	return false
+}
+
+// StageInsert stages els for insertion. Each element is routed to the
+// shard whose bounds need the least enlargement to cover it (ties to
+// the smaller shard volume) — the directory-driven analogue of the
+// Hilbert assignment the original build used. Staged elements are
+// visible to queries immediately (overlaid on the bulkloaded results)
+// and become part of their shard's bulkloaded state at the next
+// Rebuild. Staging is last-op-wins: inserting an (ID, Box) pair that a
+// pending delete doomed restores the element. Safe to call
+// concurrently with queries.
+func (s *Set) StageInsert(els ...geom.Element) error {
+	for _, e := range els {
+		if !e.Box.Valid() {
+			return fmt.Errorf("shard: stage insert %d: invalid box %v", e.ID, e.Box)
+		}
+	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.staged == nil {
+		s.staged = make([][]stagedInsert, len(s.shards))
+	}
+	for _, e := range els {
+		s.clock++
+		t := s.routeShard(e.Box)
+		s.staged[t] = append(s.staged[t], stagedInsert{el: e, seq: s.clock})
+	}
+	return nil
+}
+
+// StageDelete stages the removal of the element with the given ID and
+// box (both must match — IDs are opaque caller keys, not assumed
+// unique). The element disappears from query results immediately,
+// whether it lives in a bulkloaded shard or in the staged inserts, and
+// is dropped for good at the next Rebuild; a matching insert staged
+// *after* the delete restores it (last-op-wins). Deleting an element
+// that does not exist is a no-op that costs one pending entry until
+// the next Rebuild. Safe to call concurrently with queries.
+func (s *Set) StageDelete(id uint64, box geom.MBR) error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	s.clock++
+	s.deletes = append(s.deletes, pendingDelete{ID: id, Box: box, seq: s.clock})
+	return nil
+}
+
+// Pending returns the number of staged inserts and deletes awaiting the
+// next Rebuild.
+func (s *Set) Pending() (inserts, deletes int) {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	for _, g := range s.staged {
+		inserts += len(g)
+	}
+	return inserts, len(s.deletes)
+}
+
+// DirtyShards returns the shards the staged updates may touch — the
+// candidates the next Rebuild will examine, in shard order. A
+// candidate whose contents turn out unchanged (its only deltas are
+// deletes that match nothing) is skipped by the rebuild.
+func (s *Set) DirtyShards() []int {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.dirtyLocked()
+}
+
+// dirtyLocked computes the dirty set; callers hold pmu (either side).
+// A shard is dirty when inserts were routed to it or a staged delete's
+// box intersects its bounds (the delete may name an element there).
+func (s *Set) dirtyLocked() []int {
+	var dirty []int
+	for i := range s.shards {
+		if s.staged != nil && len(s.staged[i]) > 0 {
+			dirty = append(dirty, i)
+			continue
+		}
+		for _, d := range s.deletes {
+			if d.Box.Intersects(s.bounds[i]) {
+				dirty = append(dirty, i)
+				break
+			}
+		}
+	}
+	return dirty
+}
+
+// routeShard picks the shard for a staged insert: least bounds
+// enlargement, ties broken by smaller current volume then lower shard
+// number. Callers hold pmu.
+func (s *Set) routeShard(b geom.MBR) int {
+	best := 0
+	bestEnl, bestVol := -1.0, -1.0
+	for i, sb := range s.bounds {
+		enl := sb.Enlargement(b)
+		vol := sb.Volume()
+		if bestEnl < 0 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+// overlayFor snapshots the staged updates relevant to query q: the
+// staged inserts intersecting it (already filtered by the deletes
+// staged after them) and the staged deletes that could doom one of its
+// bulkloaded results. The snapshot is taken under pmu so queries never
+// observe a staging call halfway through; the common no-updates case
+// allocates nothing.
+func (s *Set) overlayFor(q geom.MBR) (ins []geom.Element, dels []pendingDelete) {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	// Any element of the result set intersects q, so only deletes whose
+	// box intersects q can match one.
+	for _, d := range s.deletes {
+		if d.Box.Intersects(q) {
+			dels = append(dels, d)
+		}
+	}
+	for _, g := range s.staged {
+		for _, si := range g {
+			if si.el.Box.Intersects(q) && !matchesDeleteAfter(dels, si.el, si.seq) {
+				ins = append(ins, si.el)
+			}
+		}
+	}
+	return ins, dels
+}
+
+// applyOverlay folds an overlay snapshot into a bulkloaded result set:
+// deleted elements are filtered out (in place — out is query-owned),
+// staged inserts are appended in staging order.
+func applyOverlay(out []geom.Element, ins []geom.Element, dels []pendingDelete) []geom.Element {
+	if len(dels) > 0 {
+		kept := out[:0]
+		for _, e := range out {
+			if !matchesDelete(dels, e) {
+				kept = append(kept, e)
+			}
+		}
+		out = kept
+	}
+	return append(out, ins...)
+}
+
+// Rebuild folds the staged updates into the bulkloaded index by
+// re-bulkloading only the dirty shards; clean shards keep their page
+// files (byte-identical), their cached frames, and their directory
+// entries. It returns the shard numbers actually re-bulkloaded (nil
+// when nothing was staged or no staged change had an effect).
+//
+// On disk, each dirty shard's new bulkload lands in a fresh
+// generation-suffixed page file, the manifest is atomically swapped to
+// the new generation, and the old files are garbage-collected — in that
+// order, so a crash anywhere leaves a fully openable index (the old
+// generation before the manifest swap, the new one after). On failure
+// the staged updates stay staged and the set keeps serving the old
+// state.
+//
+// Rebuild mutates the set and must not run concurrently with queries or
+// other maintenance; the public flat.ShardedIndex enforces this with
+// its ErrBusy guard.
+func (s *Set) Rebuild() ([]int, error) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	dirty := s.dirtyLocked()
+	if len(dirty) == 0 {
+		return nil, nil
+	}
+
+	// One generation number per rebuild epoch, past everything on disk.
+	var gen uint64
+	for _, g := range s.gens {
+		if g >= gen {
+			gen = g + 1
+		}
+	}
+
+	type newShard struct {
+		shard int
+		ix    *core.Index
+		pager storage.Pager
+		file  string // absolute path; "" for memory-backed sets
+	}
+	var built []newShard
+	fail := func(err error) ([]int, error) {
+		for _, b := range built {
+			b.pager.Close()
+			if b.file != "" {
+				os.Remove(b.file)
+			}
+		}
+		return nil, err
+	}
+
+	// Phase 1: bulkload every dirty shard into a fresh pager. The old
+	// state is not touched; any error abandons the new files.
+	for _, sh := range dirty {
+		els, err := s.mergedElements(sh)
+		if err != nil {
+			return fail(fmt.Errorf("shard %d: extract: %w", sh, err))
+		}
+		// A delete-only dirty shard whose deletes matched nothing is
+		// unchanged (deletes only remove, so an unchanged length means an
+		// unchanged set); skip the pointless rewrite and keep its cache.
+		if (s.staged == nil || len(s.staged[sh]) == 0) && len(els) == s.shards[sh].Len() {
+			continue
+		}
+		if len(els) == 0 {
+			return fail(fmt.Errorf("shard: rebuild would leave shard %d empty; dropping a shard needs a full rebuild (shard ids are baked into the remaining shards' page files)", sh))
+		}
+		var pager storage.Pager
+		var file string
+		if s.dir != "" {
+			file = filepath.Join(s.dir, shardFileName(sh, gen))
+			fp, err := storage.CreateFilePager(file)
+			if err != nil {
+				return fail(err)
+			}
+			pager = fp
+		} else {
+			pager = storage.NewMemPager()
+		}
+		built = append(built, newShard{shard: sh, pager: pager, file: file})
+		view, err := storage.NewShardView(pager, sh)
+		if err != nil {
+			return fail(err)
+		}
+		// A lone shard keeps the set's world (as in Build); with K > 1
+		// each shard partitions its own bounds.
+		world := geom.MBR{}
+		if len(s.shards) == 1 {
+			world = s.world
+		}
+		ix, err := core.Build(storage.NewBufferPool(view, 0), els, core.Options{
+			PageCapacity: s.pageCapacity,
+			SeedFanout:   s.seedFanout,
+			World:        world,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("shard %d: rebuild: %w", sh, err))
+		}
+		if s.dir != "" {
+			if err := ix.WriteSuper(); err != nil {
+				return fail(fmt.Errorf("shard %d: %w", sh, err))
+			}
+			// Durable before the manifest references it.
+			if err := pager.Sync(); err != nil {
+				return fail(fmt.Errorf("shard %d: %w", sh, err))
+			}
+		}
+		built[len(built)-1].ix = ix
+	}
+
+	// All dirty shards may have been no-op deletes; the staged epoch is
+	// consumed either way.
+	if len(built) == 0 {
+		s.staged = nil
+		s.deletes = nil
+		return nil, nil
+	}
+
+	// Phase 2 (disk): commit by atomically swapping the manifest to the
+	// new generation. Until this succeeds the old index remains the
+	// authoritative state on disk and in memory. If the swap happened
+	// but could not be made durable (errManifestNotDurable), the new
+	// generation is the index now — proceed, but keep the old files so
+	// a crash that loses the rename still finds them.
+	skipGC := false
+	world := s.world
+	for _, b := range built {
+		world = world.Union(b.ix.Bounds())
+	}
+	if s.dir != "" {
+		m := manifest{
+			World:        mbrToArray(world),
+			PageCapacity: s.pageCapacity,
+			SeedFanout:   s.seedFanout,
+			Entries:      make([]shardEntry, len(s.shards)),
+		}
+		for i, ix := range s.shards {
+			m.Entries[i] = shardEntry{
+				File:       shardFileName(i, s.gens[i]),
+				Generation: s.gens[i],
+				Bounds:     mbrToArray(ix.Bounds()),
+				Elements:   ix.Len(),
+			}
+		}
+		for _, b := range built {
+			m.Entries[b.shard] = shardEntry{
+				File:       shardFileName(b.shard, gen),
+				Generation: gen,
+				Bounds:     mbrToArray(b.ix.Bounds()),
+				Elements:   b.ix.Len(),
+			}
+		}
+		switch err := writeManifest(s.dir, m); {
+		case err == nil:
+		case errors.Is(err, errManifestNotDurable):
+			skipGC = true
+		default:
+			return fail(err)
+		}
+	}
+
+	// Phase 3: swap the new shards in. Nothing below can fail; the
+	// in-memory state now matches the committed manifest.
+	rebuilt := make(map[int]bool, len(built))
+	for _, b := range built {
+		old, err := s.multi.Swap(b.shard, b.pager)
+		if err != nil {
+			// Unreachable: shard numbers come from range over s.shards.
+			return nil, err
+		}
+		old.Close()
+		s.count += b.ix.Len() - s.shards[b.shard].Len()
+		s.shards[b.shard] = b.ix.WithPool(s.pool)
+		s.bounds[b.shard] = b.ix.Bounds()
+		if s.gens != nil {
+			s.gens[b.shard] = gen
+		}
+		rebuilt[b.shard] = true
+	}
+	s.world = world
+	// Invalidate only the rebuilt shards' cached frames; clean shards
+	// keep their warm cache.
+	s.pool.DropFramesIf(func(id storage.PageID) bool {
+		sh, _ := storage.SplitShardPageID(id)
+		return rebuilt[sh]
+	})
+	// Phase 4 (disk): the old generations are garbage now that the
+	// manifest no longer references them.
+	if s.dir != "" && !skipGC {
+		keep := make(map[string]bool, len(s.shards))
+		for i := range s.shards {
+			keep[shardFileName(i, s.gens[i])] = true
+		}
+		gcStale(s.dir, keep)
+	}
+
+	s.staged = nil
+	s.deletes = nil
+	out := make([]int, 0, len(built))
+	for _, b := range built {
+		out = append(out, b.shard)
+	}
+	return out, nil
+}
+
+// mergedElements materializes dirty shard sh's post-rebuild element
+// set: its bulkloaded elements and staged inserts, minus the staged
+// deletes (each insert doomed only by deletes staged after it —
+// last-op-wins, matching the query overlay exactly). Callers hold pmu.
+func (s *Set) mergedElements(sh int) ([]geom.Element, error) {
+	// Every bulkloaded element intersects its shard's bounds, so a range
+	// query over them enumerates the shard.
+	all, _, err := s.shards[sh].RangeQuery(s.bounds[sh])
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, e := range all {
+		if !matchesDelete(s.deletes, e) {
+			kept = append(kept, e)
+		}
+	}
+	if s.staged != nil {
+		for _, si := range s.staged[sh] {
+			if !matchesDeleteAfter(s.deletes, si.el, si.seq) {
+				kept = append(kept, si.el)
+			}
+		}
+	}
+	return kept, nil
+}

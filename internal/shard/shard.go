@@ -21,10 +21,17 @@
 // file hangs behind one storage.MultiPager, and one budgeted
 // storage.ConcurrentPool serves them all, so cache memory is bounded
 // for the whole sharded index rather than per shard.
+//
+// Sharding also shrinks the rebuild unit: updates are staged on the
+// side and folded in by re-bulkloading only the shards they touch,
+// under crash-safe generation-tagged manifests — see rebuild.go.
 package shard
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -64,8 +71,11 @@ type Config struct {
 
 // Set is a built sharded FLAT index: K per-shard core indexes, the MBR
 // directory that routes queries to them, and the shared page pool they
-// are served from. Like core.Index it is immutable after Build/Open and
-// safe for concurrent queries.
+// are served from. The bulkloaded state is immutable and, like
+// core.Index, safe for concurrent queries; updates are staged on the
+// side (StageInsert, StageDelete) and folded in by Rebuild, which
+// re-bulkloads only the shards the staged changes touch — see
+// rebuild.go for the delta and swap machinery.
 type Set struct {
 	shards []*core.Index
 	bounds []geom.MBR // directory: per-shard data bounds, by shard
@@ -73,6 +83,25 @@ type Set struct {
 	pool   *storage.ConcurrentPool
 	multi  *storage.MultiPager
 	count  int
+
+	// Rebuild state. dir is empty for memory-backed sets; gens tracks
+	// each shard's on-disk generation; the build knobs are kept (and,
+	// on disk, persisted in the manifest) so rebuilt shards are
+	// bulkloaded exactly like the original ones.
+	dir          string
+	gens         []uint64
+	pageCapacity int
+	seedFanout   int
+
+	// Staged updates, overlaid on query results until the next Rebuild.
+	// pmu guards them: queries snapshot under RLock, staging mutates
+	// under Lock, and Rebuild (which additionally swaps the bulkloaded
+	// state above) must not run concurrently with queries at all — the
+	// public layer enforces that with its ErrBusy query guard.
+	pmu     sync.RWMutex
+	staged  [][]stagedInsert // per shard: inserts awaiting rebuild
+	deletes []pendingDelete
+	clock   uint64 // staging-order stamp for last-op-wins semantics
 }
 
 // SplitHilbert reorders els in place along the 3D Hilbert curve of their
@@ -142,13 +171,28 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 	groups := SplitHilbert(els, k, world)
 	k = len(groups)
 
-	pagers, err := createPagers(cfg.Dir, k)
+	// Building into a directory that already commits an index writes the
+	// new files under the next generation, so the old index is never
+	// overwritten: it stays fully openable until the manifest swap below,
+	// and a failed build leaves it untouched.
+	var gen uint64
+	if cfg.Dir != "" {
+		var err error
+		if gen, err = nextGeneration(cfg.Dir); err != nil {
+			return nil, err
+		}
+	}
+	pagers, files, err := createPagers(cfg.Dir, k, gen)
 	if err != nil {
 		return nil, err
 	}
 	closeAll := func() {
 		for _, p := range pagers {
 			p.Close()
+		}
+		// A failed build must not leak partial page files.
+		for _, f := range files {
+			os.Remove(f)
 		}
 	}
 
@@ -183,6 +227,10 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 			if err := ix.WriteSuper(); err != nil {
 				return fmt.Errorf("shard %d: %w", s, err)
 			}
+			// Make the shard file durable before the manifest commits it.
+			if err := pagers[s].Sync(); err != nil {
+				return fmt.Errorf("shard %d: %w", s, err)
+			}
 		}
 		built[s] = ix
 		return nil
@@ -198,7 +246,35 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 		return nil, err
 	}
 	if cfg.Dir != "" {
-		if err := writeManifest(cfg.Dir, k, world); err != nil {
+		m := manifest{
+			World:        mbrToArray(world),
+			PageCapacity: cfg.PageCapacity,
+			SeedFanout:   cfg.SeedFanout,
+			Entries:      make([]shardEntry, k),
+		}
+		for s, ix := range built {
+			m.Entries[s] = shardEntry{
+				File:       shardFileName(s, gen),
+				Generation: gen,
+				Bounds:     mbrToArray(ix.Bounds()),
+				Elements:   ix.Len(),
+			}
+		}
+		// The manifest swap is the commit point; once it lands, any file
+		// it does not reference — old generations, stale shards of a
+		// previous (larger) K, strands of a crashed build — is garbage.
+		// A committed-but-not-durable swap must be honored (the new files
+		// may not be removed), but skips the GC so a crash that loses the
+		// un-synced rename still finds the old generation's files.
+		switch err := writeManifest(cfg.Dir, m); {
+		case err == nil:
+			keep := make(map[string]bool, k)
+			for _, e := range m.Entries {
+				keep[e.File] = true
+			}
+			gcStale(cfg.Dir, keep)
+		case errors.Is(err, errManifestNotDurable):
+		default:
 			closeAll()
 			return nil, err
 		}
@@ -208,11 +284,20 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 	// per-shard build pools are discarded, so the set starts cold.
 	pool := storage.NewConcurrentPool(multi, cfg.BufferPages)
 	s := &Set{
-		shards: make([]*core.Index, k),
-		bounds: make([]geom.MBR, k),
-		world:  world,
-		pool:   pool,
-		multi:  multi,
+		shards:       make([]*core.Index, k),
+		bounds:       make([]geom.MBR, k),
+		world:        world,
+		pool:         pool,
+		multi:        multi,
+		dir:          cfg.Dir,
+		pageCapacity: cfg.PageCapacity,
+		seedFanout:   cfg.SeedFanout,
+	}
+	if cfg.Dir != "" {
+		s.gens = make([]uint64, k)
+		for i := range s.gens {
+			s.gens[i] = gen
+		}
 	}
 	for i, ix := range built {
 		s.shards[i] = ix.WithPool(pool)
@@ -222,13 +307,17 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 	return s, nil
 }
 
-// Open loads a sharded index previously built with a Config.Dir from its
-// directory. bufferPages bounds the shared page cache as in Config.
+// Open loads a sharded index previously built with a Config.Dir from
+// its directory, resolving each shard's page file through the manifest
+// (which names the committed generation; files a crashed rebuild may
+// have stranded are ignored). bufferPages bounds the shared page cache
+// as in Config.
 func Open(dir string, bufferPages int) (*Set, error) {
-	k, world, err := readManifest(dir)
+	m, err := readManifest(dir)
 	if err != nil {
 		return nil, err
 	}
+	k := len(m.Entries)
 	pagers := make([]storage.Pager, k)
 	closeAll := func() {
 		for _, p := range pagers {
@@ -237,8 +326,8 @@ func Open(dir string, bufferPages int) (*Set, error) {
 			}
 		}
 	}
-	for s := 0; s < k; s++ {
-		fp, err := storage.OpenFilePager(shardFile(dir, s))
+	for s, e := range m.Entries {
+		fp, err := storage.OpenFilePager(filepath.Join(dir, e.File))
 		if err != nil {
 			closeAll()
 			return nil, err
@@ -252,24 +341,34 @@ func Open(dir string, bufferPages int) (*Set, error) {
 	}
 	pool := storage.NewConcurrentPool(multi, bufferPages)
 	set := &Set{
-		shards: make([]*core.Index, k),
-		bounds: make([]geom.MBR, k),
-		world:  world,
-		pool:   pool,
-		multi:  multi,
+		shards:       make([]*core.Index, k),
+		bounds:       make([]geom.MBR, k),
+		world:        arrayToMBR(m.World),
+		pool:         pool,
+		multi:        multi,
+		dir:          dir,
+		gens:         make([]uint64, k),
+		pageCapacity: m.PageCapacity,
+		seedFanout:   m.SeedFanout,
 	}
-	for s := 0; s < k; s++ {
+	for s, e := range m.Entries {
+		set.gens[s] = e.Generation
 		// Each shard's superblock is the last page of its own file; its
 		// global id carries the shard tag.
 		if pagers[s].NumPages() == 0 {
 			closeAll()
-			return nil, fmt.Errorf("shard %d: empty page file %s: %w", s, shardFile(dir, s), core.ErrNoSuper)
+			return nil, fmt.Errorf("shard %d: empty page file %s: %w", s, e.File, core.ErrNoSuper)
 		}
 		super := storage.ShardPageID(s, storage.PageID(pagers[s].NumPages()-1))
 		ix, err := core.OpenFrom(pool, super)
 		if err != nil {
 			closeAll()
 			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		if e.Elements >= 0 && ix.Len() != e.Elements {
+			closeAll()
+			return nil, fmt.Errorf("shard %d: manifest records %d elements but %s holds %d (corrupted index directory)",
+				s, e.Elements, e.File, ix.Len())
 		}
 		set.shards[s] = ix
 		set.bounds[s] = ix.Bounds()
@@ -293,8 +392,27 @@ func (s *Set) Prune(q geom.MBR) []int {
 // RangeQuery scatter-gathers q over the shards the directory cannot
 // prune and returns the merged results and statistics. Results are
 // concatenated in shard order (each shard's portion in its deterministic
-// BFS order), so the output order is deterministic for a given set.
+// BFS order), so the output order is deterministic for a given set;
+// staged updates (see rebuild.go) are overlaid last — staged inserts
+// matching q are appended in staging order and staged deletes filter
+// the bulkloaded results — so reads stay correct between rebuilds.
 func (s *Set) RangeQuery(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
+	ins, dels := s.overlayFor(q)
+	out, st, err := s.rangeShards(q)
+	if err != nil {
+		return nil, core.QueryStats{}, err
+	}
+	if len(ins) == 0 && len(dels) == 0 {
+		return out, st, nil
+	}
+	out = applyOverlay(out, ins, dels)
+	st.Results = len(out)
+	return out, st, nil
+}
+
+// rangeShards is the bulkloaded half of RangeQuery: prune, scatter,
+// gather, no staged-update overlay.
+func (s *Set) rangeShards(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
 	sel := s.Prune(q)
 	switch len(sel) {
 	case 0:
@@ -326,8 +444,33 @@ func (s *Set) RangeQuery(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
 }
 
 // CountQuery is RangeQuery without materializing elements; the per-shard
-// page access pattern is identical.
+// page access pattern is identical. Staged inserts add to the count;
+// pending deletes force a materializing pass (they must be matched
+// against concrete elements), which reads exactly the same pages.
 func (s *Set) CountQuery(q geom.MBR) (int, core.QueryStats, error) {
+	ins, dels := s.overlayFor(q)
+	if len(dels) > 0 {
+		els, st, err := s.rangeShards(q)
+		if err != nil {
+			return 0, core.QueryStats{}, err
+		}
+		els = applyOverlay(els, ins, dels)
+		st.Results = len(els)
+		return len(els), st, nil
+	}
+	n, st, err := s.countShards(q)
+	if err != nil {
+		return 0, core.QueryStats{}, err
+	}
+	if len(ins) > 0 {
+		n += len(ins)
+		st.Results = n
+	}
+	return n, st, nil
+}
+
+// countShards is the bulkloaded half of CountQuery.
+func (s *Set) countShards(q geom.MBR) (int, core.QueryStats, error) {
 	sel := s.Prune(q)
 	switch len(sel) {
 	case 0:
@@ -379,23 +522,58 @@ func (s *Set) scatter(sel []int, fn func(i, shard int) error) error {
 	return nil
 }
 
-// NumShards returns K.
+// The accessors below take pmu's read side: Rebuild swaps shards,
+// bounds, world, count and gens under the write side, and before the
+// rebuild path existed these fields were immutable — callers reasonably
+// treat the accessors as always safe, so they must not race a rebuild.
+
+// NumShards returns K (fixed for the life of the set).
 func (s *Set) NumShards() int { return len(s.shards) }
 
 // Shard returns the i-th per-shard index (for tests and measurements).
-func (s *Set) Shard(i int) *core.Index { return s.shards[i] }
+func (s *Set) Shard(i int) *core.Index {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.shards[i]
+}
 
 // ShardBounds returns the directory entry (data bounds) of shard i.
-func (s *Set) ShardBounds(i int) geom.MBR { return s.bounds[i] }
+func (s *Set) ShardBounds(i int) geom.MBR {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.bounds[i]
+}
+
+// Generation returns the on-disk generation of shard i: how many times
+// the shard has been rebuilt since the directory was created. Memory-
+// backed sets always report 0.
+func (s *Set) Generation(i int) uint64 {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	if s.gens == nil {
+		return 0
+	}
+	return s.gens[i]
+}
 
 // Len returns the total number of indexed elements across shards.
-func (s *Set) Len() int { return s.count }
+func (s *Set) Len() int {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.count
+}
 
 // World returns the space the shard assignment was derived in.
-func (s *Set) World() geom.MBR { return s.world }
+func (s *Set) World() geom.MBR {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	return s.world
+}
 
 // Bounds returns the union of the shard bounds.
 func (s *Set) Bounds() geom.MBR {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
 	b := geom.EmptyMBR()
 	for _, sb := range s.bounds {
 		b = b.Union(sb)
@@ -405,6 +583,8 @@ func (s *Set) Bounds() geom.MBR {
 
 // NumPartitions returns the total partition (object page) count.
 func (s *Set) NumPartitions() int {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
 	n := 0
 	for _, ix := range s.shards {
 		n += ix.NumPartitions()
@@ -414,6 +594,8 @@ func (s *Set) NumPartitions() int {
 
 // SizeBytes returns the on-disk footprint across all shards.
 func (s *Set) SizeBytes() uint64 {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
 	var n uint64
 	for _, ix := range s.shards {
 		n += ix.SizeBytes()

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -122,6 +123,17 @@ func TestSplitHilbert(t *testing.T) {
 // byte-identical to the unsharded index — same pages, same ids, same
 // results, same per-query read counts.
 func TestSingleShardParity(t *testing.T) {
+	// The non-zero SeedFanout case keeps the knob honest: a dropped
+	// fanout would reshape the reference seed tree but not the shard's,
+	// and the byte comparison below would catch it.
+	for _, fanout := range []int{0, 8} {
+		t.Run(fmt.Sprintf("fanout=%d", fanout), func(t *testing.T) {
+			testSingleShardParity(t, fanout)
+		})
+	}
+}
+
+func testSingleShardParity(t *testing.T, fanout int) {
 	r := rand.New(rand.NewSource(12))
 	els := randomElements(r, 4000)
 
@@ -129,14 +141,14 @@ func TestSingleShardParity(t *testing.T) {
 	refEls := append([]geom.Element(nil), els...)
 	refPager := storage.NewMemPager()
 	refPool := storage.NewBufferPool(refPager, 0)
-	ref, err := core.Build(refPool, refEls, core.Options{PageCapacity: 16})
+	ref, err := core.Build(refPool, refEls, core.Options{PageCapacity: 16, SeedFanout: fanout})
 	if err != nil {
 		t.Fatal(err)
 	}
 	refPool.Reset()
 
 	shEls := append([]geom.Element(nil), els...)
-	set, err := Build(shEls, Config{Shards: 1, PageCapacity: 16})
+	set, err := Build(shEls, Config{Shards: 1, PageCapacity: 16, SeedFanout: fanout})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -216,6 +216,30 @@ func (p *ConcurrentPool) Stats() Stats { return p.stats.Snapshot() }
 // ResetStats zeroes the global counters but keeps cached frames.
 func (p *ConcurrentPool) ResetStats() { p.stats.Reset() }
 
+// DropFramesIf drops every cached frame whose page id satisfies drop,
+// keeping the remaining frames and the counters. The sharded rebuild
+// path uses it to invalidate exactly the rebuilt shards' pages, so the
+// untouched shards keep their warm cache across an incremental rebuild.
+// Safe to call concurrently with reads, like DropFrames; callers that
+// replace the backing pages (rebuild) must additionally keep reads of
+// those pages from running until the swap is complete.
+func (p *ConcurrentPool) DropFramesIf(drop func(PageID) bool) {
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		var next *list.Element
+		for el := sh.lru.Front(); el != nil; el = next {
+			next = el.Next()
+			fr := el.Value.(*frame)
+			if drop(fr.id) {
+				sh.lru.Remove(el)
+				delete(sh.frames, fr.id)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // DropFrames drops every cached frame but keeps the counters.
 func (p *ConcurrentPool) DropFrames() {
 	for i := range p.shards {

@@ -148,8 +148,9 @@ func (v *ShardView) Close() error { return v.sub.Close() }
 // shard of a sharded index a share of a single global cache budget —
 // cache memory is bounded for the whole index, not per shard.
 //
-// MultiPager adds no synchronization of its own (the routing table is
-// immutable); concurrent use follows the wrapped pagers' rules, and
+// MultiPager adds no synchronization of its own (the routing table only
+// changes through Swap, which demands external exclusion); concurrent
+// use follows the wrapped pagers' rules, and
 // distinct shards never share mutable state, so per-shard builds may
 // proceed in parallel as long as each shard is touched by one goroutine.
 type MultiPager struct {
@@ -164,7 +165,14 @@ func NewMultiPager(subs []Pager) (*MultiPager, error) {
 	if len(subs) > MaxShards {
 		return nil, fmt.Errorf("storage: %d sub-pagers exceed MaxShards (%d)", len(subs), MaxShards)
 	}
-	return &MultiPager{subs: subs}, nil
+	for i, sub := range subs {
+		if sub == nil {
+			return nil, fmt.Errorf("storage: nil sub-pager for shard %d", i)
+		}
+	}
+	// Copy the routing table: Swap mutates it, and sharing the caller's
+	// slice would alias that mutation back into the caller.
+	return &MultiPager{subs: append([]Pager(nil), subs...)}, nil
 }
 
 // NumShards returns the number of routed sub-pagers.
@@ -222,6 +230,25 @@ func (m *MultiPager) SetCategory(id PageID, cat Category) {
 	if cs, ok := sub.(CategorySetter); ok {
 		cs.SetCategory(local, cat)
 	}
+}
+
+// Swap replaces the sub-pager serving shard and returns the previous
+// one for the caller to close. It exists for the per-shard rebuild
+// path: a rebuilt shard's new page file is spliced in without touching
+// the other shards. The caller must guarantee no concurrent access to
+// the MultiPager for the duration of the swap (the sharded index swaps
+// only under its maintenance guard, with no queries in flight) and must
+// invalidate any cache layered above for the swapped shard's ids.
+func (m *MultiPager) Swap(shard int, sub Pager) (Pager, error) {
+	if shard < 0 || shard >= len(m.subs) {
+		return nil, fmt.Errorf("storage: swap shard %d out of range [0,%d)", shard, len(m.subs))
+	}
+	if sub == nil {
+		return nil, errors.New("storage: swap with nil sub-pager")
+	}
+	old := m.subs[shard]
+	m.subs[shard] = sub
+	return old, nil
 }
 
 // NumPages implements Pager with the total page count across shards.

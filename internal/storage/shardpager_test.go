@@ -123,6 +123,100 @@ func TestMultiPagerRouting(t *testing.T) {
 	}
 }
 
+// TestMultiPagerSwapAndShardInvalidation exercises the two storage
+// primitives of the per-shard rebuild path: MultiPager.Swap splices a
+// rebuilt shard's new pager in without touching its siblings, and
+// ConcurrentPool.DropFramesIf invalidates exactly the swapped shard's
+// cached frames, leaving the other shards' cache warm.
+func TestMultiPagerSwapAndShardInvalidation(t *testing.T) {
+	subs := []Pager{NewMemPager(), NewMemPager()}
+	ids := make([]PageID, len(subs))
+	for s, sub := range subs {
+		v, err := NewShardView(sub, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := v.Alloc(CatObject)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, PageSize)
+		buf[0] = byte('A' + s)
+		if err := v.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids[s] = id
+	}
+	m, err := NewMultiPager(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewConcurrentPool(m, 0)
+	for _, id := range ids {
+		if _, err := pool.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rebuild shard 1: new pager with new content, swapped in.
+	repl := NewMemPager()
+	rv, err := NewShardView(repl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := rv.Alloc(CatObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, PageSize)
+	buf[0] = 'Z'
+	if err := rv.WritePage(rid, buf); err != nil {
+		t.Fatal(err)
+	}
+	orig := subs[1]
+	old, err := m.Swap(1, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != orig {
+		t.Fatal("Swap returned the wrong previous pager")
+	}
+	pool.DropFramesIf(func(id PageID) bool {
+		shard, _ := SplitShardPageID(id)
+		return shard == 1
+	})
+
+	// Shard 0's frame survived; shard 1's was dropped and now reads the
+	// new pager's content.
+	if !pool.Cached(ids[0]) {
+		t.Error("clean shard's frame was dropped")
+	}
+	if pool.Cached(ids[1]) {
+		t.Error("swapped shard's frame survived invalidation")
+	}
+	page, err := pool.Read(ids[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page[0] != 'Z' {
+		t.Errorf("swapped shard serves old content %q", page[0])
+	}
+	page, err = pool.Read(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page[0] != 'A' {
+		t.Errorf("clean shard content disturbed: %q", page[0])
+	}
+
+	if _, err := m.Swap(5, repl); err == nil {
+		t.Error("Swap out of range should fail")
+	}
+	if _, err := m.Swap(0, nil); err == nil {
+		t.Error("Swap with nil pager should fail")
+	}
+}
+
 // TestMultiPagerUnderConcurrentPool certifies the serving configuration
 // of a sharded index: one budgeted ConcurrentPool over a MultiPager,
 // with per-query local stats attributing reads to the right categories.

@@ -17,6 +17,9 @@ type ShardedOptions struct {
 	// PageCapacity caps elements per object page in every shard
 	// (default: a full page), as Options.PageCapacity.
 	PageCapacity int
+	// SeedFanout caps the entries per seed-tree internal node in every
+	// shard (default: a full page), as Options.SeedFanout.
+	SeedFanout int
 	// World is the space the data lives in, as Options.World; it also
 	// anchors the Hilbert grid of the shard assignment.
 	World MBR
@@ -38,8 +41,13 @@ type ShardedOptions struct {
 // the directory and scatter-gathered over the shards they can touch,
 // with per-shard QueryStats merged into one. It satisfies Querier, and
 // its concurrency contract is the same as Index's: query methods are
-// safe for any number of goroutines; Close and DropCache return ErrBusy
-// while queries are in flight.
+// safe for any number of goroutines; Close, DropCache and Rebuild
+// return ErrBusy while queries are in flight.
+//
+// Unlike the rebuild-only Index, a ShardedIndex accepts updates between
+// bulkloads: StageInsert and StageDelete stage changes that queries see
+// immediately, and Rebuild folds them in by re-bulkloading only the
+// shards they touch. See the README's "Staged updates" section.
 type ShardedIndex struct {
 	set   *shard.Set
 	guard queryGuard
@@ -59,6 +67,7 @@ func BuildSharded(els []Element, opts *ShardedOptions) (*ShardedIndex, error) {
 	set, err := shard.Build(els, shard.Config{
 		Shards:       o.Shards,
 		PageCapacity: o.PageCapacity,
+		SeedFanout:   o.SeedFanout,
 		World:        o.World,
 		Dir:          o.Dir,
 		BufferPages:  o.BufferPages,
@@ -155,7 +164,84 @@ func (sx *ShardedIndex) BatchCountQuery(queries []MBR, workers int) ([]int, []Qu
 	return counts, stats, err
 }
 
-// Len returns the total number of indexed elements across shards.
+// StageInsert stages els for insertion. Each element is routed to a
+// shard through the MBR directory, becomes visible to queries
+// immediately (staged updates are overlaid on the bulkloaded results),
+// and is folded into its shard's bulkloaded state by the next Rebuild.
+// Safe to call concurrently with queries; like them it returns
+// ErrClosed after Close.
+func (sx *ShardedIndex) StageInsert(els ...Element) error {
+	if err := sx.guard.enter(); err != nil {
+		return err
+	}
+	defer sx.guard.exit()
+	return sx.set.StageInsert(els...)
+}
+
+// StageDelete stages the removal of the element with the given id and
+// box (both must match — ids are opaque caller keys, not assumed
+// unique). The element disappears from query results immediately and
+// is dropped for good at the next Rebuild. Staging is last-op-wins: a
+// matching StageInsert issued after the delete restores the element.
+// Deleting a non-existent element is a harmless no-op. Safe to call
+// concurrently with queries.
+func (sx *ShardedIndex) StageDelete(id uint64, box MBR) error {
+	if err := sx.guard.enter(); err != nil {
+		return err
+	}
+	defer sx.guard.exit()
+	return sx.set.StageDelete(id, box)
+}
+
+// Pending returns the number of staged inserts and deletes awaiting the
+// next Rebuild.
+func (sx *ShardedIndex) Pending() (inserts, deletes int, err error) {
+	if err := sx.guard.enter(); err != nil {
+		return 0, 0, err
+	}
+	defer sx.guard.exit()
+	inserts, deletes = sx.set.Pending()
+	return inserts, deletes, nil
+}
+
+// DirtyShards returns the shards the staged updates may touch — the
+// candidates the next Rebuild will examine, in shard order; candidates
+// whose contents turn out unchanged are skipped by the rebuild.
+func (sx *ShardedIndex) DirtyShards() ([]int, error) {
+	if err := sx.guard.enter(); err != nil {
+		return nil, err
+	}
+	defer sx.guard.exit()
+	return sx.set.DirtyShards(), nil
+}
+
+// Rebuild folds the staged updates in by re-bulkloading only the dirty
+// shards; untouched shards keep their page files (byte-identical) and
+// their share of the page cache. On disk each rebuilt shard writes a
+// new generation of its page file and the manifest is atomically
+// swapped, so a crash at any point leaves a fully openable index. It
+// returns the rebuilt shard numbers (nil when nothing was staged or no
+// staged change had an effect).
+//
+// Rebuild is a maintenance operation like Close and DropCache: while
+// queries are in flight it returns ErrBusy and changes nothing, and
+// after Close it returns ErrClosed. On failure the staged updates stay
+// staged and the index keeps serving its previous state.
+func (sx *ShardedIndex) Rebuild() ([]int, error) {
+	if err := sx.guard.maintain(); err != nil {
+		return nil, err
+	}
+	defer sx.guard.release()
+	return sx.set.Rebuild()
+}
+
+// ShardGeneration returns the on-disk generation of shard i — how many
+// times the shard has been rebuilt since its directory was created.
+// Memory-backed indexes always report 0.
+func (sx *ShardedIndex) ShardGeneration(i int) uint64 { return sx.set.Generation(i) }
+
+// Len returns the number of bulkloaded elements across shards; staged
+// inserts and deletes count only after the Rebuild that folds them in.
 func (sx *ShardedIndex) Len() int { return sx.set.Len() }
 
 // NumShards returns K, the number of spatial shards.
