@@ -18,9 +18,13 @@
 //
 // With -shards K (K > 1) the data is split into K spatial shards built
 // in parallel and queried scatter-gather (flat.BuildSharded); -index
-// then names a directory instead of a single page file. All query paths
-// go through the flat.Querier contract, so they are identical for both
-// index kinds.
+// then names a directory instead of a single page file. Reopening goes
+// through flat.OpenAny (which detects the on-disk shape) and all query
+// paths go through the flat.QueryIndex contract, so they are identical
+// for both index kinds. Queries run as streaming sessions: -limit N
+// stops the crawl after N results, and the reported page reads shrink
+// accordingly (the paper's crawl cost is proportional to the result
+// size, so bounding the results bounds the I/O).
 //
 // A sharded index accepts updates between bulkloads: -insert stages
 // the elements of another element file, -delete stages removals by
@@ -33,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,7 +56,7 @@ func main() {
 		point   = flag.String("point", "", "point query 'x,y,z'")
 		stats   = flag.Bool("stats", false, "print index statistics")
 		compare = flag.Bool("compare", false, "also run the query on the three R-tree baselines")
-		limit   = flag.Int("limit", 10, "max result elements to print (0: count only)")
+		limit   = flag.Int("limit", 0, "stop the query after this many results (0: unlimited); the crawl aborts early, saving page reads")
 		shards  = flag.Int("shards", 1, "number of spatial shards (>1: sharded index; -index names a directory)")
 		insert  = flag.String("insert", "", "element file whose contents are staged for insertion (sharded index only)")
 		del     = flag.String("delete", "", "comma-separated element ids staged for deletion (sharded index only)")
@@ -70,37 +75,39 @@ func main() {
 
 	// Reuse a previously built index file (or shard directory) when
 	// present; otherwise build (and, with -index, persist for the next
-	// invocation). Everything below the build programs against the
-	// flat.Querier contract, which both index kinds satisfy.
-	var ix flat.Querier
-	if *shards > 1 {
-		if *index != "" {
-			if reopened, err := flat.OpenSharded(*index); err == nil {
-				fmt.Printf("reopened existing sharded index %s\n", *index)
-				if reopened.NumShards() != *shards {
-					fmt.Printf("warning: directory was built with %d shards; -shards %d ignored (delete %s to rebuild)\n",
-						reopened.NumShards(), *shards, *index)
+	// invocation). OpenAny resolves the on-disk shape itself, and
+	// everything below the build programs against the flat.QueryIndex
+	// contract, which both index kinds satisfy.
+	var ix flat.QueryIndex
+	if *index != "" {
+		if reopened, err := flat.OpenAny(*index); err == nil {
+			fmt.Printf("reopened existing index %s\n", *index)
+			// The on-disk shape wins over the -shards flag; say so when
+			// they disagree rather than silently serving the wrong shape.
+			switch v := reopened.(type) {
+			case *flat.ShardedIndex:
+				if *shards != v.NumShards() {
+					fmt.Printf("warning: %s was built with %d shards; -shards %d ignored (delete it to rebuild)\n",
+						*index, v.NumShards(), *shards)
 				}
-				ix = reopened
+			case *flat.Index:
+				if *shards > 1 {
+					fmt.Printf("warning: %s is an unsharded page file; -shards %d ignored (delete it to rebuild)\n",
+						*index, *shards)
+				}
 			}
+			ix = reopened
 		}
-		if ix == nil {
-			cp := append([]flat.Element(nil), els...)
+	}
+	if ix == nil {
+		cp := append([]flat.Element(nil), els...)
+		if *shards > 1 {
 			sx, err := flat.BuildSharded(cp, &flat.ShardedOptions{Shards: *shards, Dir: *index})
 			if err != nil {
 				fatalf("build sharded: %v", err)
 			}
 			ix = sx
-		}
-	} else {
-		if *index != "" {
-			if reopened, err := flat.Open(*index); err == nil {
-				fmt.Printf("reopened existing index %s\n", *index)
-				ix = reopened
-			}
-		}
-		if ix == nil {
-			cp := append([]flat.Element(nil), els...)
+		} else {
 			plain, err := flat.Build(cp, &flat.Options{Path: *index})
 			if err != nil {
 				fatalf("build: %v", err)
@@ -210,23 +217,38 @@ func main() {
 		return
 	}
 
-	res, qs, err := ix.RangeQuery(q)
-	if err != nil {
-		fatalf("query: %v", err)
+	// Execute through the streaming session path: with -limit the crawl
+	// aborts as soon as enough results have been delivered, so the page
+	// reads below reflect the work actually performed, not the full
+	// result's cost.
+	const maxPrint = 10
+	session := ix.Query(context.Background(), q, flat.WithLimit(*limit))
+	count := 0
+	for e, err := range session.All() {
+		if err != nil {
+			fatalf("query: %v", err)
+		}
+		if count < maxPrint {
+			fmt.Printf("  element %d %v\n", e.ID, e.Box)
+		} else if count == maxPrint {
+			fmt.Printf("  ...\n")
+		}
+		count++
 	}
-	fmt.Printf("query %v: %d results\n", q, len(res))
+	qs := session.Stats()
+	if *limit > 0 && count == *limit {
+		fmt.Printf("query %v: stopped after %d results (-limit)\n", q, count)
+	} else {
+		fmt.Printf("query %v: %d results\n", q, count)
+	}
 	fmt.Printf("  page reads: %d total (%d seed + %d metadata + %d object)\n",
 		qs.TotalReads, qs.SeedReads, qs.MetadataReads, qs.ObjectReads)
 	fmt.Printf("  crawl: %d records visited, %d object pages\n", qs.RecordsVisited, qs.PagesVisited)
-	for i, e := range res {
-		if i >= *limit {
-			fmt.Printf("  ... %d more\n", len(res)-*limit)
-			break
-		}
-		fmt.Printf("  element %d %v\n", e.ID, e.Box)
-	}
 
 	if *compare {
+		if *limit > 0 {
+			fmt.Printf("note: the R-tree baselines below run the full query; FLAT's numbers above stop at -limit %d\n", *limit)
+		}
 		for _, s := range []flat.RTreeStrategy{flat.RTreeHilbert, flat.RTreeSTR, flat.RTreePR} {
 			cp := append([]flat.Element(nil), els...)
 			tr, err := flat.BuildRTree(cp, s, nil)

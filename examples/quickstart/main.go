@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -62,6 +63,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("point query at %v: %d elements\n", p, len(at))
+
+	// Query sessions stream results instead of materializing them: the
+	// crawl reads pages only as the loop consumes elements, a context
+	// cancels it mid-flight, and WithLimit stops it early — here the
+	// first 5 elements cost a fraction of the full query's page reads.
+	ix.DropCache()
+	session := ix.Query(context.Background(), q, flat.WithLimit(5))
+	for el, err := range session.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  streamed element %d %v\n", el.ID, el.Box)
+	}
+	fmt.Printf("limited session: %d page reads (full query cost %d)\n",
+		session.Stats().TotalReads, stats.TotalReads)
 
 	// Scaling out: the same data split into 4 spatial shards, built in
 	// parallel and queried scatter-gather. Index and ShardedIndex both

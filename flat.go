@@ -37,18 +37,56 @@
 // evaluation: every query reports how many 4 KiB pages it touched, split
 // into seed-tree, metadata and object pages (QueryStats).
 //
+// # Query sessions
+//
+// Query is the primary entry point: it starts a cancellable, streaming
+// query session. The returned Results is iterated with a range loop and
+// delivers elements incrementally as the crawl discovers them, so a
+// caller pays page reads only for the results it actually consumes —
+// breaking out of the loop, hitting a WithLimit bound, or cancelling
+// the context stops the crawl immediately and the remaining pages are
+// never read (the crawl's cost is proportional to the result size, so
+// bounding the results bounds the I/O):
+//
+//	res := ix.Query(ctx, box, flat.WithLimit(100))
+//	for el, err := range res.All() {
+//		if err != nil { ... }
+//		use(el)
+//	}
+//	cost := res.Stats() // page reads of the work actually performed
+//
+// RangeQuery, CountQuery, PointQuery and the Batch variants are
+// compatibility wrappers over the same path for callers that want the
+// whole result at once; the *Context variants accept a context without
+// switching to sessions. OpenAny opens either index shape from a path
+// and returns the composed QueryIndex interface; the Querier /
+// Inspector / Maintainer role interfaces split the same surface by
+// concern for callers that need less.
+//
 // # Concurrency
 //
-// A built (or reopened) Index is immutable, and its query methods —
-// RangeQuery, CountQuery, PointQuery and the Batch variants — are safe
-// to call from any number of goroutines at once. Queries share one
-// lock-striped page cache; each query's QueryStats counts exactly the
-// cache misses that query caused (a page another query just fetched is a
-// free hit, as with a shared OS page cache). DropCache and Close are
-// maintenance operations: calling them while queries are in flight
-// returns ErrBusy instead of racing, and every method returns ErrClosed
+// A built (or reopened) Index is immutable, and its query paths —
+// sessions, RangeQuery, CountQuery, PointQuery and the Batch variants —
+// are safe to call from any number of goroutines at once. Queries share
+// one lock-striped page cache; each query's QueryStats counts exactly
+// the cache misses that query caused (a page another query just fetched
+// is a free hit, as with a shared OS page cache). DropCache and Close
+// are maintenance operations: calling them while queries are in flight
+// (including sessions currently being drained) returns ErrBusy instead
+// of racing, and every query and maintenance method returns ErrClosed
 // after a successful Close. BatchRangeQuery is the convenience entry
 // point for fanning a query batch over a worker pool.
+//
+// # Lifecycle of plain accessors
+//
+// The no-error accessors (Len, Bounds, World, NumPartitions, SizeBytes,
+// SeedHeight, NumShards, ShardBounds, ShardGeneration, ...) read
+// in-memory state that outlives the page files: they keep returning
+// correct values after Close, and they serialize internally against
+// maintenance (in particular ShardedIndex.Rebuild, which swaps the
+// state they read), so calling them concurrently with anything is safe.
+// They are the Inspector role; only methods that touch pages or mutate
+// state report ErrClosed/ErrBusy.
 //
 // # Scaling out: sharding
 //
@@ -63,6 +101,7 @@
 package flat
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -99,11 +138,15 @@ type (
 
 // Querier is the query contract shared by the unsharded Index and the
 // ShardedIndex: callers that only read — examples, benchmarks, serving
-// code — program against it and work with either.
+// code — program against it and work with either. It is the query role
+// of the old 12-method interface; inspection and maintenance live in
+// Inspector and Maintainer, and QueryIndex composes all three.
 //
-// All methods are safe for concurrent use. DropCache and Close return
-// ErrBusy while queries are in flight and ErrClosed after Close.
+// All methods are safe for concurrent use.
 type Querier interface {
+	// Query starts a cancellable, streaming query session; see
+	// Index.Query for the semantics shared by both implementations.
+	Query(ctx context.Context, q MBR, opts ...QueryOption) *Results
 	// RangeQuery returns every indexed element intersecting q.
 	RangeQuery(q MBR) ([]Element, QueryStats, error)
 	// CountQuery counts elements intersecting q without materializing.
@@ -114,6 +157,12 @@ type Querier interface {
 	BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, error)
 	// BatchCountQuery is BatchRangeQuery without materializing results.
 	BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStats, error)
+}
+
+// Inspector is the read-only metadata role: cheap accessors over
+// immutable in-memory state. They remain valid after Close — see the
+// "Lifecycle of plain accessors" note in the package documentation.
+type Inspector interface {
 	// Len returns the number of indexed elements.
 	Len() int
 	// NumPartitions returns the number of partitions (object pages).
@@ -124,16 +173,48 @@ type Querier interface {
 	World() MBR
 	// SizeBytes returns the on-disk footprint of the index.
 	SizeBytes() uint64
+}
+
+// Maintainer is the maintenance role. Both methods return ErrBusy while
+// queries are in flight and ErrClosed after a successful Close.
+type Maintainer interface {
 	// DropCache empties the page cache (cold-start simulation).
 	DropCache() error
 	// Close releases the index's storage.
 	Close() error
 }
 
+// QueryIndex is the composed contract most callers want — an opened
+// index they can query, inspect and eventually close. OpenAny returns
+// it; Index and ShardedIndex both satisfy it.
+type QueryIndex interface {
+	Querier
+	Inspector
+	Maintainer
+}
+
 var (
-	_ Querier = (*Index)(nil)
-	_ Querier = (*ShardedIndex)(nil)
+	_ QueryIndex = (*Index)(nil)
+	_ QueryIndex = (*ShardedIndex)(nil)
 )
+
+// OpenAny opens a previously built index of either shape from path: a
+// page file (flat.Build with Options.Path, reopened as *Index) or a
+// shard directory holding a manifest (flat.BuildSharded with
+// ShardedOptions.Dir, reopened as *ShardedIndex). Serving code calls
+// one constructor and programs against QueryIndex; the concrete type
+// is recoverable with a type switch when shape-specific accessors
+// (SeedHeight, NumShards, staging) are needed.
+func OpenAny(path string) (QueryIndex, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		return OpenSharded(path)
+	}
+	return Open(path)
+}
 
 // V constructs a Vec3.
 func V(x, y, z float64) Vec3 { return geom.V(x, y, z) }
@@ -257,26 +338,35 @@ func OpenWithOptions(path string, opts *Options) (*Index, error) {
 	return &Index{inner: inner, pool: pool, pager: fp}, nil
 }
 
+// Query starts a streaming query session over q: a cancellable
+// iterator that delivers elements incrementally, in the same
+// deterministic order RangeQuery returns them. Nothing is read until
+// the session is iterated (see Results). Between page reads the crawl
+// checks ctx, so a deadline or cancellation aborts it mid-BFS with
+// ctx.Err(); WithLimit stops it after k results, skipping the page
+// reads the rest of the crawl would have cost; WithBuffer overlaps the
+// crawl's page reads with the caller's per-element work. Safe for
+// concurrent use: any number of sessions may be drained at once.
+func (ix *Index) Query(ctx context.Context, q MBR, opts ...QueryOption) *Results {
+	return newResults(ctx, q, opts, &ix.guard, func(ctx context.Context, q MBR, emit func(Element) bool) (QueryStats, error) {
+		return ix.inner.Query(ctx, q, emit)
+	})
+}
+
 // RangeQuery returns every indexed element whose MBR intersects q,
 // together with the query's page-read statistics. It is safe for
-// concurrent use.
+// concurrent use, and is a thin wrapper over the Query session path —
+// Query(context.Background(), q).Collect() — kept for callers that want
+// the whole result as a slice.
 func (ix *Index) RangeQuery(q MBR) ([]Element, QueryStats, error) {
-	if err := ix.guard.enter(); err != nil {
-		return nil, QueryStats{}, err
-	}
-	defer ix.guard.exit()
-	return ix.inner.RangeQuery(q)
+	return ix.Query(context.Background(), q).Collect()
 }
 
 // CountQuery returns the number of elements intersecting q without
 // materializing them; the page access pattern is identical to
 // RangeQuery. It is safe for concurrent use.
 func (ix *Index) CountQuery(q MBR) (int, QueryStats, error) {
-	if err := ix.guard.enter(); err != nil {
-		return 0, QueryStats{}, err
-	}
-	defer ix.guard.exit()
-	return ix.inner.CountQuery(q)
+	return ix.Query(context.Background(), q).count()
 }
 
 // PointQuery returns the elements whose MBR contains p. It is safe for
@@ -322,17 +412,25 @@ type BatchResult struct {
 // value <= 0 uses GOMAXPROCS. All workers share the index's page cache;
 // each result's Stats counts the cache misses its own query caused, so
 // summing them gives the batch's aggregate page reads. A query error
-// aborts the batch and one failing query's error is returned (when
-// several fail near-simultaneously, which one is arbitrary;
-// already-finished results are kept).
+// aborts the batch; the error of the lowest-indexed failing query is
+// returned (already-finished results are kept). It is shorthand for
+// BatchRangeQueryContext with context.Background().
 func (ix *Index) BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, error) {
+	return ix.BatchRangeQueryContext(context.Background(), queries, workers)
+}
+
+// BatchRangeQueryContext is BatchRangeQuery under a context: a done ctx
+// stops workers from starting further queries and aborts the in-flight
+// crawls, and the batch returns ctx.Err() (results finished before the
+// cancellation are kept).
+func (ix *Index) BatchRangeQueryContext(ctx context.Context, queries []MBR, workers int) ([]BatchResult, error) {
 	if err := ix.guard.enter(); err != nil {
 		return nil, err
 	}
 	defer ix.guard.exit()
 	out := make([]BatchResult, len(queries))
-	err := runBatch(len(queries), workers, func(i int) error {
-		els, st, err := ix.inner.RangeQuery(queries[i])
+	err := runBatch(ctx, len(queries), workers, func(i int) error {
+		els, st, err := ix.inner.RangeQueryContext(ctx, queries[i])
 		out[i] = BatchResult{Elements: els, Stats: st}
 		return err
 	})
@@ -342,14 +440,20 @@ func (ix *Index) BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, err
 // BatchCountQuery is BatchRangeQuery without materializing result
 // elements: it returns each query's hit count and stats in input order.
 func (ix *Index) BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStats, error) {
+	return ix.BatchCountQueryContext(context.Background(), queries, workers)
+}
+
+// BatchCountQueryContext is BatchCountQuery under a context, with the
+// same cancellation semantics as BatchRangeQueryContext.
+func (ix *Index) BatchCountQueryContext(ctx context.Context, queries []MBR, workers int) ([]int, []QueryStats, error) {
 	if err := ix.guard.enter(); err != nil {
 		return nil, nil, err
 	}
 	defer ix.guard.exit()
 	counts := make([]int, len(queries))
 	stats := make([]QueryStats, len(queries))
-	err := runBatch(len(queries), workers, func(i int) error {
-		n, st, err := ix.inner.CountQuery(queries[i])
+	err := runBatch(ctx, len(queries), workers, func(i int) error {
+		n, st, err := ix.inner.CountQueryContext(ctx, queries[i])
 		counts[i], stats[i] = n, st
 		return err
 	})
@@ -361,7 +465,16 @@ func (ix *Index) BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStat
 // ShardedIndex. Workers pull the next item from an atomic cursor, so an
 // expensive query does not stall the rest of the batch behind a static
 // partition.
-func runBatch(n, workers int, run func(i int) error) error {
+//
+// Error propagation is deterministic: every claimed item runs to
+// completion, failures are stamped with their item index, and the error
+// of the lowest-indexed failure is returned. (The cursor hands indexes
+// out in order, so when item i fails every item below i has already
+// been claimed and will report its own failure if it has one — which
+// one wins never depends on goroutine scheduling.) A done ctx stops
+// workers from claiming further items; if nothing else failed first the
+// batch returns ctx.Err().
+func runBatch(ctx context.Context, n, workers int, run func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -369,63 +482,83 @@ func runBatch(n, workers int, run func(i int) error) error {
 		workers = n
 	}
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	var (
 		cursor atomic.Int64
 		wg     sync.WaitGroup
-		errs   = make([]error, workers)
 		failed atomic.Bool
+
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
 	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstIdx < 0 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				if err := run(i); err != nil {
-					errs[w] = err
-					failed.Store(true)
+					fail(i, err)
 					return
 				}
 			}
-		}(w)
+		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if firstErr != nil {
+		return firstErr
 	}
-	return nil
+	return ctx.Err()
 }
 
+// The plain accessors below read immutable in-memory state through the
+// guard's view side: they stay valid after Close (an Index never
+// mutates, so there is no closed state to observe), but serialize
+// against maintenance so a concurrent DropCache/Close never interleaves
+// with them. See the "Lifecycle of plain accessors" package note.
+
 // Len returns the number of indexed elements.
-func (ix *Index) Len() int { return ix.inner.Len() }
+func (ix *Index) Len() int { defer ix.guard.view()(); return ix.inner.Len() }
 
 // NumPartitions returns the number of partitions (object pages).
-func (ix *Index) NumPartitions() int { return ix.inner.NumPartitions() }
+func (ix *Index) NumPartitions() int { defer ix.guard.view()(); return ix.inner.NumPartitions() }
 
 // SeedHeight returns the seed tree height in levels (metadata level
 // inclusive); the seed phase of a query reads at most this many internal
 // pages.
-func (ix *Index) SeedHeight() int { return ix.inner.SeedHeight() }
+func (ix *Index) SeedHeight() int { defer ix.guard.view()(); return ix.inner.SeedHeight() }
 
 // SizeBytes returns the on-disk footprint of the index.
-func (ix *Index) SizeBytes() uint64 { return ix.inner.SizeBytes() }
+func (ix *Index) SizeBytes() uint64 { defer ix.guard.view()(); return ix.inner.SizeBytes() }
 
 // Bounds returns the bounding box of the indexed data.
-func (ix *Index) Bounds() MBR { return ix.inner.Bounds() }
+func (ix *Index) Bounds() MBR { defer ix.guard.view()(); return ix.inner.Bounds() }
 
 // World returns the partitioned space.
-func (ix *Index) World() MBR { return ix.inner.World() }
+func (ix *Index) World() MBR { defer ix.guard.view()(); return ix.inner.World() }
 
 // AvgNeighbors returns the mean number of neighborhood pointers per
 // partition.
-func (ix *Index) AvgNeighbors() float64 { return ix.inner.AvgNeighbors() }
+func (ix *Index) AvgNeighbors() float64 { defer ix.guard.view()(); return ix.inner.AvgNeighbors() }
 
 // DropCache empties the page cache so the next query starts cold — the
 // equivalent of the paper's clearing of OS caches between measurements.

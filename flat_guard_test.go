@@ -95,6 +95,95 @@ func TestCloseAndDropCacheRefuseInFlightQueries(t *testing.T) {
 	}
 }
 
+// TestAccessorsSurviveClose pins the documented lifecycle of the plain
+// accessors (the Inspector role): they keep returning correct values
+// after Close instead of panicking or going stale, on both index
+// shapes.
+func TestAccessorsSurviveClose(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	els := randomElements(r, 1000)
+
+	ix, err := Build(append([]Element(nil), els...), &Options{PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen, wantParts, wantBounds := ix.Len(), ix.NumPartitions(), ix.Bounds()
+	wantHeight, wantSize := ix.SeedHeight(), ix.SizeBytes()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != wantLen || ix.NumPartitions() != wantParts || ix.Bounds() != wantBounds ||
+		ix.SeedHeight() != wantHeight || ix.SizeBytes() != wantSize || ix.World() == (MBR{}) {
+		t.Fatal("Index accessors changed across Close")
+	}
+	_ = ix.String() // must not panic either
+
+	sx, err := BuildSharded(append([]Element(nil), els...), &ShardedOptions{Shards: 3, PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLen, sShards, sParts := sx.Len(), sx.NumShards(), sx.NumPartitions()
+	sBounds, sGen := sx.ShardBounds(1), sx.ShardGeneration(1)
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sx.Len() != sLen || sx.NumShards() != sShards || sx.NumPartitions() != sParts ||
+		sx.ShardBounds(1) != sBounds || sx.ShardGeneration(1) != sGen {
+		t.Fatal("ShardedIndex accessors changed across Close")
+	}
+	_ = sx.String()
+}
+
+// TestAccessorsRaceMaintenance drives the plain accessors concurrently
+// with Close/DropCache/Rebuild under -race: the guard's view side must
+// serialize them against the state swaps instead of racing.
+func TestAccessorsRaceMaintenance(t *testing.T) {
+	r := rand.New(rand.NewSource(98))
+	els := randomElements(r, 1500)
+	sx, err := BuildSharded(append([]Element(nil), els...), &ShardedOptions{Shards: 2, PageCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				_ = sx.Len()
+				_ = sx.Bounds()
+				_ = sx.NumPartitions()
+				_ = sx.ShardBounds(0)
+				_ = sx.ShardGeneration(1)
+				_ = sx.SizeBytes()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := sx.StageInsert(Element{ID: uint64(100000 + i), Box: CubeAt(V(50, 50, 50), 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sx.Rebuild(); err != nil && !errors.Is(err, ErrBusy) {
+			t.Fatal(err)
+		}
+		if err := sx.DropCache(); err != nil && !errors.Is(err, ErrBusy) {
+			t.Fatal(err)
+		}
+	}
+	if err := sx.Close(); err != nil && !errors.Is(err, ErrBusy) {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Accessors keep working through and after the teardown.
+	if sx.Len() < len(els) {
+		t.Fatalf("Len after maintenance storm: %d, want >= %d", sx.Len(), len(els))
+	}
+}
+
 // The sharded index shares the guard semantics.
 func TestShardedCloseGuard(t *testing.T) {
 	r := rand.New(rand.NewSource(96))

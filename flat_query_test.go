@@ -1,0 +1,514 @@
+package flat
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// queryTargets builds an unsharded and a sharded (K=3) index over the
+// same elements, so every session property can be checked against both
+// Querier implementations.
+func queryTargets(t *testing.T, n int) (els []Element, targets map[string]QueryIndex) {
+	t.Helper()
+	r := rand.New(rand.NewSource(77))
+	els = randomElements(r, n)
+	orig := make([]Element, len(els))
+	copy(orig, els)
+
+	ix, err := Build(append([]Element(nil), orig...), &Options{PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	sx, err := BuildSharded(append([]Element(nil), orig...), &ShardedOptions{Shards: 3, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sx.Close() })
+	return orig, map[string]QueryIndex{"Index": ix, "ShardedIndex": sx}
+}
+
+// TestQuerySessionMatchesRangeQuery pins the compatibility contract:
+// draining a session yields exactly RangeQuery's elements, in the same
+// order, with the same page-read statistics — whether drained inline or
+// through a pipeline buffer.
+func TestQuerySessionMatchesRangeQuery(t *testing.T) {
+	els, targets := queryTargets(t, 3000)
+	r := rand.New(rand.NewSource(5))
+	for name, ix := range targets {
+		for i := 0; i < 12; i++ {
+			c := V(r.Float64()*100, r.Float64()*100, r.Float64()*100)
+			q := CubeAt(c, 5+r.Float64()*25)
+			// Queries share the page cache, so stats only compare equal
+			// when every run starts equally cold.
+			if err := ix.DropCache(); err != nil {
+				t.Fatal(err)
+			}
+			want, wantStats, err := ix.RangeQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range [][]QueryOption{nil, {WithBuffer(4)}} {
+				if err := ix.DropCache(); err != nil {
+					t.Fatal(err)
+				}
+				res := ix.Query(context.Background(), q, opts...)
+				var got []Element
+				for e, err := range res.All() {
+					if err != nil {
+						t.Fatalf("%s query %d: %v", name, i, err)
+					}
+					got = append(got, e)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s query %d: session %d elements, RangeQuery %d", name, i, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("%s query %d: element %d differs: %v vs %v", name, i, j, got[j], want[j])
+					}
+				}
+				if res.Stats() != wantStats {
+					t.Fatalf("%s query %d: session stats %+v, RangeQuery %+v", name, i, res.Stats(), wantStats)
+				}
+				if res.Err() != nil {
+					t.Fatalf("%s query %d: Err() = %v after clean drain", name, i, res.Err())
+				}
+			}
+		}
+	}
+	_ = els
+}
+
+// TestQueryWithLimitReadsFewerPages is the acceptance criterion of the
+// redesign: a limited session on a selective box must read strictly
+// fewer object pages — and strictly fewer pages overall — than the
+// unbounded query, because the crawl aborts instead of finishing.
+func TestQueryWithLimitReadsFewerPages(t *testing.T) {
+	_, targets := queryTargets(t, 3000)
+	// A box big enough to span many object pages (PageCapacity is 8).
+	q := Box(V(10, 10, 10), V(60, 60, 60))
+	for name, ix := range targets {
+		// Cold-for-cold comparison: both runs start with an empty cache,
+		// so the page-read counts measure the crawls themselves.
+		if err := ix.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		full, fullStats, err := ix.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) < 20 {
+			t.Fatalf("%s: test box too selective (%d results), cannot demonstrate limit savings", name, len(full))
+		}
+		if err := ix.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		res := ix.Query(context.Background(), q, WithLimit(3))
+		n := 0
+		for e, err := range res.All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The limited prefix must be the full result's prefix.
+			if e != full[n] {
+				t.Fatalf("%s: limited element %d = %v, want %v", name, n, e, full[n])
+			}
+			n++
+		}
+		if n != 3 {
+			t.Fatalf("%s: WithLimit(3) delivered %d elements", name, n)
+		}
+		st := res.Stats()
+		if st.Results != 3 {
+			t.Fatalf("%s: limited stats.Results = %d, want 3", name, st.Results)
+		}
+		if st.ObjectReads >= fullStats.ObjectReads {
+			t.Fatalf("%s: limited query read %d object pages, unbounded %d — limit saved nothing",
+				name, st.ObjectReads, fullStats.ObjectReads)
+		}
+		if st.TotalReads >= fullStats.TotalReads {
+			t.Fatalf("%s: limited query read %d pages, unbounded %d — limit saved nothing",
+				name, st.TotalReads, fullStats.TotalReads)
+		}
+	}
+}
+
+// TestQueryCancelMidCrawl cancels the context after the first element
+// and expects the session to terminate with ctx.Err() promptly — and
+// the index (including its shared page cache) to keep answering
+// correctly afterwards.
+func TestQueryCancelMidCrawl(t *testing.T) {
+	_, targets := queryTargets(t, 3000)
+	q := Box(V(10, 10, 10), V(60, 60, 60))
+	for name, ix := range targets {
+		if err := ix.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		want, wantStats, err := ix.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range [][]QueryOption{nil, {WithBuffer(2)}} {
+			if err := ix.DropCache(); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			res := ix.Query(ctx, q, opts...)
+			seen := 0
+			var terminal error
+			for _, err := range res.All() {
+				if err != nil {
+					terminal = err
+					break
+				}
+				seen++
+				cancel()
+			}
+			cancel()
+			if !errors.Is(terminal, context.Canceled) {
+				t.Fatalf("%s: cancelled session terminated with %v, want context.Canceled", name, terminal)
+			}
+			if !errors.Is(res.Err(), context.Canceled) {
+				t.Fatalf("%s: Err() = %v, want context.Canceled", name, res.Err())
+			}
+			// Stats must already describe the performed work at the moment
+			// the terminal error is observed (Collect relies on this).
+			if res.Stats().Results < seen || res.Stats().Results == 0 {
+				t.Fatalf("%s: stats at terminal error report %d results, consumer saw %d",
+					name, res.Stats().Results, seen)
+			}
+			if seen == 0 || seen >= len(want) {
+				t.Fatalf("%s: cancelled session delivered %d of %d elements — not a mid-crawl abort", name, seen, len(want))
+			}
+			if res.Stats().TotalReads >= wantStats.TotalReads {
+				t.Fatalf("%s: cancelled session read %d pages, full query %d — crawl did not abort early",
+					name, res.Stats().TotalReads, wantStats.TotalReads)
+			}
+			// The abort must leave the shared cache consistent: the same
+			// query answers identically afterwards.
+			after, _, err := ix.RangeQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(after) != len(want) {
+				t.Fatalf("%s: after cancellation RangeQuery returns %d elements, want %d", name, len(after), len(want))
+			}
+			for i := range after {
+				if after[i] != want[i] {
+					t.Fatalf("%s: result %d differs after cancellation", name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryContextAlreadyDone exercises the scatter path with a context
+// that is done before the query starts: both the session and the
+// *Context materializing calls must fail with the context's error
+// without delivering anything.
+func TestQueryContextAlreadyDone(t *testing.T) {
+	_, targets := queryTargets(t, 1000)
+	q := Box(V(0, 0, 0), V(100, 100, 100))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, ix := range targets {
+		res := ix.Query(ctx, q)
+		for _, err := range res.All() {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: session yielded %v, want context.Canceled", name, err)
+			}
+		}
+		if res.Stats().Results != 0 {
+			t.Fatalf("%s: done-ctx session still delivered %d elements", name, res.Stats().Results)
+		}
+	}
+	// The ctx-aware materializing paths (scatter-gather included).
+	sx := targets["ShardedIndex"].(*ShardedIndex)
+	if _, _, err := sx.RangeQueryContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RangeQueryContext = %v, want context.Canceled", err)
+	}
+	if _, _, err := sx.CountQueryContext(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountQueryContext = %v, want context.Canceled", err)
+	}
+	ixp := targets["Index"].(*Index)
+	if _, err := ixp.BatchRangeQueryContext(ctx, []MBR{q, q}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("BatchRangeQueryContext = %v, want context.Canceled", err)
+	}
+}
+
+// TestQuerySessionAbandonReleasesGuard breaks out of both session modes
+// mid-stream and verifies the query guard is released (Close succeeds)
+// and the pipeline goroutine is stopped.
+func TestQuerySessionAbandonReleasesGuard(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	els := randomElements(r, 2000)
+	for _, opts := range [][]QueryOption{nil, {WithBuffer(2)}} {
+		ix, err := Build(append([]Element(nil), els...), &Options{PageCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := ix.Query(context.Background(), Box(V(0, 0, 0), V(100, 100, 100)), opts...)
+		for _, err := range res.All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break // abandon immediately
+		}
+		if res.Err() != nil {
+			t.Fatalf("abandoned session (opts %d) reports Err() = %v, want nil (early stop is not an error)", len(opts), res.Err())
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatalf("Close after abandoned session (opts %d): %v", len(opts), err)
+		}
+	}
+}
+
+// TestQuerySessionAbandonErrNil hammers the buffered abandon path: the
+// race where the producer observes the internal abandon-cancel between
+// page reads (rather than while blocked on the send) must not surface
+// context.Canceled through Err().
+func TestQuerySessionAbandonErrNil(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	els := randomElements(r, 2000)
+	ix, err := Build(append([]Element(nil), els...), &Options{PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	q := Box(V(0, 0, 0), V(100, 100, 100))
+	for i := 0; i < 300; i++ {
+		// A large buffer keeps the producer off the send path, so the
+		// abandon-cancel is seen by the crawl's ctx checks instead.
+		res := ix.Query(context.Background(), q, WithBuffer(4096))
+		for _, err := range res.All() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if res.Err() != nil {
+			t.Fatalf("iteration %d: abandoned buffered session Err() = %v, want nil", i, res.Err())
+		}
+	}
+}
+
+// TestQuerySessionSingleUse pins that a Results is one execution: a
+// second drain yields ErrConsumed.
+func TestQuerySessionSingleUse(t *testing.T) {
+	_, targets := queryTargets(t, 500)
+	ix := targets["Index"]
+	res := ix.Query(context.Background(), Box(V(0, 0, 0), V(100, 100, 100)))
+	if _, _, err := res.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range res.All() {
+		if !errors.Is(err, ErrConsumed) {
+			t.Fatalf("second drain yielded %v, want ErrConsumed", err)
+		}
+	}
+}
+
+// TestQuerySessionAfterClose: a session started on a closed index
+// reports ErrClosed through the iterator, like every other query path.
+func TestQuerySessionAfterClose(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	ix, err := Build(randomElements(r, 200), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := ix.Query(context.Background(), Box(V(0, 0, 0), V(100, 100, 100)))
+	saw := false
+	for _, err := range res.All() {
+		saw = true
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("session on closed index yielded %v, want ErrClosed", err)
+		}
+	}
+	if !saw {
+		t.Fatal("session on closed index yielded nothing; want terminal ErrClosed")
+	}
+}
+
+// TestQuerySessionOverlay: sessions see staged inserts and deletes
+// exactly like RangeQuery does (deletes filtered inline, inserts
+// appended last), and WithLimit counts overlaid results.
+func TestQuerySessionOverlay(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	els := randomElements(r, 1500)
+	sx, err := BuildSharded(append([]Element(nil), els...), &ShardedOptions{Shards: 3, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+	q := Box(V(10, 10, 10), V(70, 70, 70))
+	base, _, err := sx.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) < 4 {
+		t.Fatalf("test box matches only %d elements", len(base))
+	}
+	// Delete one bulkloaded element inside q, insert two fresh ones.
+	if err := sx.StageDelete(base[1].ID, base[1].Box); err != nil {
+		t.Fatal(err)
+	}
+	fresh := []Element{
+		{ID: 900001, Box: CubeAt(V(30, 30, 30), 1)},
+		{ID: 900002, Box: CubeAt(V(40, 40, 40), 1)},
+	}
+	if err := sx.StageInsert(fresh...); err != nil {
+		t.Fatal(err)
+	}
+
+	want, _, err := sx.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sx.Query(context.Background(), q)
+	var got []Element
+	for e, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("session with overlay: %d elements, RangeQuery %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("overlay element %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// A limit larger than the bulkloaded hits must still reach the
+	// staged inserts (they stream last).
+	res = sx.Query(context.Background(), q, WithLimit(len(want)))
+	n := 0
+	sawFresh := 0
+	for e, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.ID >= 900001 {
+			sawFresh++
+		}
+		n++
+	}
+	if n != len(want) || sawFresh != len(fresh) {
+		t.Fatalf("limited overlay drain: %d elements (%d staged), want %d (%d staged)", n, sawFresh, len(want), len(fresh))
+	}
+}
+
+// TestRunBatchFirstErrorDeterministic pins the batch error contract:
+// whichever worker finishes first, the error of the lowest-indexed
+// failing item is the one reported.
+func TestRunBatchFirstErrorDeterministic(t *testing.T) {
+	errAt := map[int]error{
+		3: fmt.Errorf("item 3 failed"),
+		7: fmt.Errorf("item 7 failed"),
+	}
+	for trial := 0; trial < 200; trial++ {
+		var mu sync.Mutex
+		ran := map[int]bool{}
+		err := runBatch(context.Background(), 16, 8, func(i int) error {
+			mu.Lock()
+			ran[i] = true
+			mu.Unlock()
+			return errAt[i]
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("trial %d: runBatch = %v, want deterministic first error of item 3", trial, err)
+		}
+		mu.Lock()
+		ok := ran[3]
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("trial %d: failing item 3 never ran", trial)
+		}
+	}
+}
+
+// TestRunBatchHonorsContext: a done context stops the batch between
+// items and surfaces ctx.Err().
+func TestRunBatchHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := runBatch(ctx, 64, 4, func(i int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("runBatch on done ctx = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("runBatch on done ctx still ran %d items", calls)
+	}
+}
+
+// TestOpenAny exercises the unified constructor against both on-disk
+// shapes.
+func TestOpenAny(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	els := randomElements(r, 800)
+	dir := t.TempDir()
+
+	filePath := filepath.Join(dir, "plain.flat")
+	ix, err := Build(append([]Element(nil), els...), &Options{Path: filePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLen := ix.Len()
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "sharded")
+	sx, err := BuildSharded(append([]Element(nil), els...), &ShardedOptions{Shards: 2, Dir: shardDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := Box(V(20, 20, 20), V(60, 60, 60))
+	want := apiBrute(els, q)
+	for _, path := range []string{filePath, shardDir} {
+		got, err := OpenAny(path)
+		if err != nil {
+			t.Fatalf("OpenAny(%s): %v", path, err)
+		}
+		if got.Len() != wantLen {
+			t.Fatalf("OpenAny(%s): %d elements, want %d", path, got.Len(), wantLen)
+		}
+		hits, _, err := got.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != len(want) {
+			t.Fatalf("OpenAny(%s): query returned %d hits, want %d", path, len(hits), len(want))
+		}
+		switch path {
+		case filePath:
+			if _, ok := got.(*Index); !ok {
+				t.Fatalf("OpenAny(%s) returned %T, want *Index", path, got)
+			}
+		case shardDir:
+			if _, ok := got.(*ShardedIndex); !ok {
+				t.Fatalf("OpenAny(%s) returned %T, want *ShardedIndex", path, got)
+			}
+		}
+		if err := got.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := OpenAny(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("OpenAny on a missing path succeeded")
+	}
+}

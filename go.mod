@@ -1,3 +1,5 @@
 module flat
 
-go 1.24
+// 1.23 is the floor: the streaming query API (Results.All) returns
+// iter.Seq2 range-over-func iterators, which landed in Go 1.23.
+go 1.23

@@ -37,6 +37,20 @@ func (g *queryGuard) enter() error {
 // exit marks the query finished.
 func (g *queryGuard) exit() { g.mu.RUnlock() }
 
+// view takes the read side for a plain accessor (Len, Bounds, ...) and
+// returns the release func. Unlike enter it never rejects: accessors
+// only read immutable in-memory state, so they stay valid after Close —
+// but they must still serialize against in-flight maintenance (Rebuild
+// swaps the state they read), which holding the read side does.
+// Accessors hold the lock for nanoseconds, but like queries they can
+// make a concurrent maintenance TryLock lose its instant and report
+// ErrBusy; a caller polling accessors in a tight loop should expect to
+// retry Rebuild/DropCache, exactly as it would under query load.
+func (g *queryGuard) view() func() {
+	g.mu.RLock()
+	return g.mu.RUnlock
+}
+
 // maintain acquires the exclusive side for a maintenance operation, or
 // fails with ErrBusy (queries running) / ErrClosed (already closed).
 // The caller must pair a nil return with release.

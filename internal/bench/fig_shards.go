@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -139,7 +140,7 @@ func (r *Runner) shardsExperiment() ([]*Table, error) {
 			scatterWidth := 0
 			for i, q := range wr.queries {
 				set.DropCache()
-				cnt, st, err := set.CountQuery(q)
+				cnt, st, err := set.CountQuery(context.Background(), q)
 				if err != nil {
 					return nil, err
 				}
@@ -162,14 +163,14 @@ func (r *Runner) shardsExperiment() ([]*Table, error) {
 			// pass, then timed passes.
 			const passes = 3
 			for _, q := range wr.queries {
-				if _, _, err := set.CountQuery(q); err != nil {
+				if _, _, err := set.CountQuery(context.Background(), q); err != nil {
 					return nil, err
 				}
 			}
 			w0 := time.Now()
 			for p := 0; p < passes; p++ {
 				for _, q := range wr.queries {
-					if _, _, err := set.CountQuery(q); err != nil {
+					if _, _, err := set.CountQuery(context.Background(), q); err != nil {
 						return nil, err
 					}
 				}

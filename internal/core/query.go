@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"flat/internal/geom"
@@ -66,18 +67,32 @@ func (s *QueryStats) Add(o QueryStats) {
 // paper's two-phase algorithm: seed then crawl. The result order is the
 // BFS visit order and therefore deterministic for a given index.
 func (eng *Engine) RangeQuery(q geom.MBR) ([]geom.Element, QueryStats, error) {
+	return eng.RangeQueryContext(context.Background(), q)
+}
+
+// RangeQueryContext is RangeQuery under a context: between page reads
+// the query checks ctx and aborts with ctx.Err() once it is done, so a
+// deadline or cancellation stops a crawl mid-BFS instead of after it.
+func (eng *Engine) RangeQueryContext(ctx context.Context, q geom.MBR) ([]geom.Element, QueryStats, error) {
 	var result []geom.Element
-	stats, err := eng.query(q, func(e geom.Element) { result = append(result, e) })
-	stats.Results = len(result)
+	stats, err := eng.Query(ctx, q, func(e geom.Element) bool {
+		result = append(result, e)
+		return true
+	})
 	return result, stats, err
 }
 
 // CountQuery is RangeQuery without materializing the result elements;
 // the page access pattern is identical.
 func (eng *Engine) CountQuery(q geom.MBR) (int, QueryStats, error) {
+	return eng.CountQueryContext(context.Background(), q)
+}
+
+// CountQueryContext is CountQuery under a context, with the same
+// cancellation semantics as RangeQueryContext.
+func (eng *Engine) CountQueryContext(ctx context.Context, q geom.MBR) (int, QueryStats, error) {
 	n := 0
-	stats, err := eng.query(q, func(geom.Element) { n++ })
-	stats.Results = n
+	stats, err := eng.Query(ctx, q, func(geom.Element) bool { n++; return true })
 	return n, stats, err
 }
 
@@ -117,7 +132,15 @@ func (sc *crawlScratch) release() {
 	scratchPool.Put(sc)
 }
 
-func (eng *Engine) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error) {
+// Query executes the two-phase query as a push stream: every element
+// intersecting q is handed to emit in BFS order, and emit returning
+// false stops the crawl immediately — the pages the remaining BFS
+// frontier would have read are never touched, which is what makes
+// result limits save I/O rather than just truncate slices. Between page
+// reads the query checks ctx and aborts with ctx.Err() once it is done.
+// The returned stats cover exactly the work performed, whether the
+// query ran to completion, was stopped by emit, or was cancelled.
+func (eng *Engine) Query(ctx context.Context, q geom.MBR, emit func(geom.Element) bool) (QueryStats, error) {
 	var st QueryStats
 	// Per-query accounting is collected locally via ReadInto rather than
 	// by diffing the pool's shared counters, which would attribute other
@@ -126,9 +149,13 @@ func (eng *Engine) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error
 	sc := getScratch()
 	defer sc.release()
 
-	seedRef, ok, err := eng.seed(q, sc, &local)
+	counted := func(e geom.Element) bool {
+		st.Results++
+		return emit(e)
+	}
+	seedRef, ok, err := eng.seed(ctx, q, sc, &local)
 	if err == nil && ok {
-		err = eng.crawl(q, seedRef, emit, &st, sc, &local)
+		err = eng.crawl(ctx, q, seedRef, counted, &st, sc, &local)
 	}
 	st.SeedReads = local.Reads[storage.CatSeedInternal]
 	st.MetadataReads = local.Reads[storage.CatMetadata]
@@ -137,15 +164,30 @@ func (eng *Engine) query(q geom.MBR, emit func(geom.Element)) (QueryStats, error
 	return st, err
 }
 
+// ctxErr reports ctx's error once it is done. Queries call it between
+// page reads; the non-blocking select costs nanoseconds against a page
+// read and makes every blocking phase of a query cancellable.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // seed walks the seed tree depth-first, pruned by q, until it finds a
 // metadata record whose object page holds at least one element
 // intersecting q (Section V-B.1). It follows one root-to-leaf path at a
 // time and stops at the first hit, so its cost is in the order of the
 // seed-tree height; only for nearly-empty queries does it inspect
 // several leaves before concluding the result is empty.
-func (eng *Engine) seed(q geom.MBR, sc *crawlScratch, local *storage.Stats) (RecordRef, bool, error) {
+func (eng *Engine) seed(ctx context.Context, q geom.MBR, sc *crawlScratch, local *storage.Stats) (RecordRef, bool, error) {
 	sc.stack = append(sc.stack[:0], seedItem{eng.seedRoot, eng.seedHeight})
 	for len(sc.stack) > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return 0, false, err
+		}
 		it := sc.stack[len(sc.stack)-1]
 		sc.stack = sc.stack[:len(sc.stack)-1]
 		page, err := eng.pool.ReadInto(it.page, local)
@@ -211,14 +253,19 @@ func (eng *Engine) objectPageHasHit(id storage.PageID, q geom.MBR, local *storag
 // neighborhood pointers starting from the seed record. An object page is
 // read only when the record's page MBR intersects the query; a record's
 // neighbors are expanded only when its partition MBR does. Each record
-// and each object page is visited at most once.
-func (eng *Engine) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), st *QueryStats, sc *crawlScratch, local *storage.Stats) error {
+// and each object page is visited at most once. emit returning false
+// stops the BFS cleanly (no error); a done ctx aborts it with ctx.Err().
+func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit func(geom.Element) bool, st *QueryStats, sc *crawlScratch, local *storage.Stats) error {
 	sc.queue = append(sc.queue[:0], start)
 	sc.enqueued[start] = true
+	defer func() { st.PagesVisited = len(sc.visited) }()
 
 	// The queue is consumed by index so its backing array survives into
 	// the next query via the scratch pool.
 	for head := 0; head < len(sc.queue); head++ {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		ref := sc.queue[head]
 		page, err := eng.pool.ReadInto(ref.Page(), local)
 		if err != nil {
@@ -239,7 +286,9 @@ func (eng *Engine) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), s
 			_, entries := rtree.DecodeNode(objPage)
 			for _, e := range entries {
 				if e.Box.Intersects(q) {
-					emit(geom.Element{ID: e.Ref, Box: e.Box})
+					if !emit(geom.Element{ID: e.Ref, Box: e.Box}) {
+						return nil
+					}
 				}
 			}
 		}
@@ -272,7 +321,6 @@ func (eng *Engine) crawl(q geom.MBR, start RecordRef, emit func(geom.Element), s
 			}
 		}
 	}
-	st.PagesVisited = len(sc.visited)
 	return nil
 }
 
@@ -285,7 +333,10 @@ func (eng *Engine) CrawlFrom(q geom.MBR, start RecordRef) ([]geom.Element, error
 	var local storage.Stats
 	sc := getScratch()
 	defer sc.release()
-	err := eng.crawl(q, start, func(e geom.Element) { result = append(result, e) }, &st, sc, &local)
+	err := eng.crawl(context.Background(), q, start, func(e geom.Element) bool {
+		result = append(result, e)
+		return true
+	}, &st, sc, &local)
 	return result, err
 }
 

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"math/rand"
 	"os"
@@ -66,14 +67,14 @@ func TestStagedOverlay(t *testing.T) {
 	if err := set.StageInsert(ins); err != nil {
 		t.Fatal(err)
 	}
-	got, st, err := set.RangeQuery(all)
+	got, st, err := set.RangeQuery(context.Background(), all)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != len(orig)+1 || st.Results != len(got) {
 		t.Fatalf("after staged insert: %d results (stats %d), want %d", len(got), st.Results, len(orig)+1)
 	}
-	n, cst, err := set.CountQuery(all)
+	n, cst, err := set.CountQuery(context.Background(), all)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestStagedOverlay(t *testing.T) {
 	far := geom.CubeAt(orig[0].Box.Center(), 3)
 	if !ins.Box.Intersects(far) {
 		base := brute(orig, far)
-		got, _, err := set.RangeQuery(far)
+		got, _, err := set.RangeQuery(context.Background(), far)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestStagedOverlay(t *testing.T) {
 	if err := set.StageDelete(victim.ID, victim.Box); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err = set.RangeQuery(all)
+	got, _, err = set.RangeQuery(context.Background(), all)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestStagedOverlay(t *testing.T) {
 			t.Fatal("staged delete did not hide the element")
 		}
 	}
-	n, _, err = set.CountQuery(all)
+	n, _, err = set.CountQuery(context.Background(), all)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestStagedOverlay(t *testing.T) {
 	if err := set.StageDelete(ins.ID, ins.Box); err != nil {
 		t.Fatal(err)
 	}
-	n, _, err = set.CountQuery(all)
+	n, _, err = set.CountQuery(context.Background(), all)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestRebuildOnlyDirtyShards(t *testing.T) {
 	}
 	for i, q := range append(testQueries(r, 25), geom.CubeAt(geom.V(42, 42, 42), 4)) {
 		want := brute(merged, q)
-		got, st, err := set.RangeQuery(q)
+		got, st, err := set.RangeQuery(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -248,7 +249,7 @@ func TestRebuildOnlyDirtyShards(t *testing.T) {
 		if st.Results != len(got) {
 			t.Errorf("query %d: stats.Results %d != %d results", i, st.Results, len(got))
 		}
-		fgot, _, err := full.RangeQuery(q)
+		fgot, _, err := full.RangeQuery(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -270,7 +271,7 @@ func TestRebuildOnlyDirtyShards(t *testing.T) {
 		t.Fatalf("reopened: %d elements, generation %d", re.Len(), re.Generation(target))
 	}
 	q := geom.CubeAt(geom.V(42, 42, 42), 4)
-	got, _, err := re.RangeQuery(q)
+	got, _, err := re.RangeQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestRebuildDeletes(t *testing.T) {
 		}
 	}
 	for i, q := range testQueries(r, 20) {
-		got, _, err := set.RangeQuery(q)
+		got, _, err := set.RangeQuery(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -379,7 +380,7 @@ func TestStagingLastOpWins(t *testing.T) {
 	all := geom.Box(geom.V(-1000, -1000, -1000), geom.V(1000, 1000, 1000))
 	count := func() int {
 		t.Helper()
-		n, _, err := set.CountQuery(all)
+		n, _, err := set.CountQuery(context.Background(), all)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -421,7 +422,7 @@ func TestStagingLastOpWins(t *testing.T) {
 	if set.Len() != len(orig) || count() != len(orig) {
 		t.Fatalf("after rebuild: Len %d, count %d, want %d", set.Len(), count(), len(orig))
 	}
-	got, _, err := set.RangeQuery(geom.CubeAt(victim.Box.Center(), 0.1))
+	got, _, err := set.RangeQuery(context.Background(), geom.CubeAt(victim.Box.Center(), 0.1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -462,7 +463,7 @@ func TestRebuildMemoryBacked(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", set.Len(), len(merged))
 	}
 	for i, q := range testQueries(r, 20) {
-		got, _, err := set.RangeQuery(q)
+		got, _, err := set.RangeQuery(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -495,7 +496,7 @@ func TestRebuildRefusesToEmptyShard(t *testing.T) {
 		t.Fatalf("rebuild emptying a shard: err = %v, want refusal", err)
 	}
 	// The overlay still hides the element; the set keeps working.
-	n, _, err := set.CountQuery(geom.Box(geom.V(-10, -10, -10), geom.V(200, 200, 200)))
+	n, _, err := set.CountQuery(context.Background(), geom.Box(geom.V(-10, -10, -10), geom.V(200, 200, 200)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -539,7 +540,7 @@ func TestCrashBeforeManifestSwap(t *testing.T) {
 		t.Fatalf("reopened %d elements, want %d", re.Len(), len(orig))
 	}
 	q := testQueries(r, 1)[0]
-	got, _, err := re.RangeQuery(q)
+	got, _, err := re.RangeQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -666,7 +667,7 @@ func TestBuildIntoExistingDir(t *testing.T) {
 		t.Fatalf("replaced index: %d shards, %d elements", re2.NumShards(), re2.Len())
 	}
 	q := testQueries(r, 1)[0]
-	got, _, err := re2.RangeQuery(q)
+	got, _, err := re2.RangeQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -716,7 +717,7 @@ func TestManifestV1Compat(t *testing.T) {
 		t.Fatalf("v1 open: %d shards, %d elements", re.NumShards(), re.Len())
 	}
 	q := testQueries(r, 1)[0]
-	got, _, err := re.RangeQuery(q)
+	got, _, err := re.RangeQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -396,9 +397,10 @@ func (s *Set) Prune(q geom.MBR) []int {
 // staged updates (see rebuild.go) are overlaid last — staged inserts
 // matching q are appended in staging order and staged deletes filter
 // the bulkloaded results — so reads stay correct between rebuilds.
-func (s *Set) RangeQuery(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
+// A done ctx aborts the surviving shards' crawls with ctx.Err().
+func (s *Set) RangeQuery(ctx context.Context, q geom.MBR) ([]geom.Element, core.QueryStats, error) {
 	ins, dels := s.overlayFor(q)
-	out, st, err := s.rangeShards(q)
+	out, st, err := s.rangeShards(ctx, q)
 	if err != nil {
 		return nil, core.QueryStats{}, err
 	}
@@ -412,19 +414,19 @@ func (s *Set) RangeQuery(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
 
 // rangeShards is the bulkloaded half of RangeQuery: prune, scatter,
 // gather, no staged-update overlay.
-func (s *Set) rangeShards(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
+func (s *Set) rangeShards(ctx context.Context, q geom.MBR) ([]geom.Element, core.QueryStats, error) {
 	sel := s.Prune(q)
 	switch len(sel) {
 	case 0:
 		return nil, core.QueryStats{}, nil
 	case 1:
-		return s.shards[sel[0]].RangeQuery(q)
+		return s.shards[sel[0]].RangeQueryContext(ctx, q)
 	}
 	els := make([][]geom.Element, len(sel))
 	stats := make([]core.QueryStats, len(sel))
 	err := s.scatter(sel, func(i, shard int) error {
 		var err error
-		els[i], stats[i], err = s.shards[shard].RangeQuery(q)
+		els[i], stats[i], err = s.shards[shard].RangeQueryContext(ctx, q)
 		return err
 	})
 	if err != nil {
@@ -447,10 +449,10 @@ func (s *Set) rangeShards(q geom.MBR) ([]geom.Element, core.QueryStats, error) {
 // page access pattern is identical. Staged inserts add to the count;
 // pending deletes force a materializing pass (they must be matched
 // against concrete elements), which reads exactly the same pages.
-func (s *Set) CountQuery(q geom.MBR) (int, core.QueryStats, error) {
+func (s *Set) CountQuery(ctx context.Context, q geom.MBR) (int, core.QueryStats, error) {
 	ins, dels := s.overlayFor(q)
 	if len(dels) > 0 {
-		els, st, err := s.rangeShards(q)
+		els, st, err := s.rangeShards(ctx, q)
 		if err != nil {
 			return 0, core.QueryStats{}, err
 		}
@@ -458,7 +460,7 @@ func (s *Set) CountQuery(q geom.MBR) (int, core.QueryStats, error) {
 		st.Results = len(els)
 		return len(els), st, nil
 	}
-	n, st, err := s.countShards(q)
+	n, st, err := s.countShards(ctx, q)
 	if err != nil {
 		return 0, core.QueryStats{}, err
 	}
@@ -470,19 +472,19 @@ func (s *Set) CountQuery(q geom.MBR) (int, core.QueryStats, error) {
 }
 
 // countShards is the bulkloaded half of CountQuery.
-func (s *Set) countShards(q geom.MBR) (int, core.QueryStats, error) {
+func (s *Set) countShards(ctx context.Context, q geom.MBR) (int, core.QueryStats, error) {
 	sel := s.Prune(q)
 	switch len(sel) {
 	case 0:
 		return 0, core.QueryStats{}, nil
 	case 1:
-		return s.shards[sel[0]].CountQuery(q)
+		return s.shards[sel[0]].CountQueryContext(ctx, q)
 	}
 	counts := make([]int, len(sel))
 	stats := make([]core.QueryStats, len(sel))
 	err := s.scatter(sel, func(i, shard int) error {
 		var err error
-		counts[i], stats[i], err = s.shards[shard].CountQuery(q)
+		counts[i], stats[i], err = s.shards[shard].CountQueryContext(ctx, q)
 		return err
 	})
 	if err != nil {
@@ -495,6 +497,60 @@ func (s *Set) countShards(q geom.MBR) (int, core.QueryStats, error) {
 		n += counts[i]
 	}
 	return n, merged, nil
+}
+
+// Query executes q as a cancellable push stream: elements are handed to
+// emit one at a time, and emit returning false stops the query
+// immediately — remaining shards are never visited and the current
+// shard's crawl frontier is abandoned, so an early stop saves the page
+// reads the rest of the query would have cost. Unlike the materializing
+// RangeQuery, the surviving shards are queried *sequentially* in shard
+// order: a stream delivers elements incrementally anyway, sequential
+// visitation keeps the emit order identical to RangeQuery's
+// deterministic shard-order concatenation, and it is what lets an early
+// stop skip whole shards. The staged-update overlay is applied inline:
+// deleted elements are filtered out as they stream by, and staged
+// inserts matching q are emitted last, in staging order.
+//
+// The returned stats cover exactly the work performed; Results counts
+// the elements actually emitted.
+func (s *Set) Query(ctx context.Context, q geom.MBR, emit func(geom.Element) bool) (core.QueryStats, error) {
+	ins, dels := s.overlayFor(q)
+	sel := s.Prune(q)
+	var st core.QueryStats
+	emitted, stopped := 0, false
+	wrapped := func(e geom.Element) bool {
+		if matchesDelete(dels, e) {
+			return true
+		}
+		emitted++
+		if !emit(e) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for _, sh := range sel {
+		sst, err := s.shards[sh].Query(ctx, q, wrapped)
+		st.Add(sst)
+		if err != nil {
+			st.Results = emitted
+			return st, err
+		}
+		if stopped {
+			break
+		}
+	}
+	if !stopped {
+		for _, e := range ins {
+			emitted++
+			if !emit(e) {
+				break
+			}
+		}
+	}
+	st.Results = emitted
+	return st, nil
 }
 
 // scatter runs fn(i, sel[i]) across the selected shards and waits for

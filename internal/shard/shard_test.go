@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -181,7 +182,7 @@ func testSingleShardParity(t *testing.T, fanout int) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, gotStats, err := set.RangeQuery(q)
+		got, gotStats, err := set.RangeQuery(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func TestShardedCorrectnessAcrossK(t *testing.T) {
 			t.Errorf("k=%d: Len = %d", k, set.Len())
 		}
 		for i, q := range queries {
-			got, st, err := set.RangeQuery(q)
+			got, st, err := set.RangeQuery(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -232,7 +233,7 @@ func TestShardedCorrectnessAcrossK(t *testing.T) {
 			if sum := st.SeedReads + st.MetadataReads + st.ObjectReads; st.TotalReads != sum {
 				t.Errorf("k=%d query %d: TotalReads %d != category sum %d", k, i, st.TotalReads, sum)
 			}
-			n, cst, err := set.CountQuery(q)
+			n, cst, err := set.CountQuery(context.Background(), q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -262,7 +263,7 @@ func TestShardedDiskRoundTrip(t *testing.T) {
 	base := make([]baseline, len(queries))
 	for i, q := range queries {
 		set.DropCache()
-		got, st, err := set.RangeQuery(q)
+		got, st, err := set.RangeQuery(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -292,7 +293,7 @@ func TestShardedDiskRoundTrip(t *testing.T) {
 	}
 	for i, q := range queries {
 		re.DropCache()
-		got, st, err := re.RangeQuery(q)
+		got, st, err := re.RangeQuery(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -341,7 +342,7 @@ func TestSharedCacheBudgetIsGlobal(t *testing.T) {
 	}
 	// Query broadly to touch many pages in every shard.
 	for _, q := range testQueries(r, 40) {
-		if _, _, err := set.CountQuery(q); err != nil {
+		if _, _, err := set.CountQuery(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -377,7 +378,7 @@ func TestPruneDirectory(t *testing.T) {
 	if len(sel) == 0 || len(sel) == set.NumShards() {
 		t.Fatalf("pruning ineffective: %d of %d shards selected", len(sel), set.NumShards())
 	}
-	got, _, err := set.RangeQuery(q)
+	got, _, err := set.RangeQuery(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +388,7 @@ func TestPruneDirectory(t *testing.T) {
 
 	// A query in empty space touches nothing.
 	far := geom.Box(geom.V(40, 40, 40), geom.V(45, 45, 45))
-	n, st, err := set.CountQuery(far)
+	n, st, err := set.CountQuery(context.Background(), far)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +412,7 @@ func TestBuildErrors(t *testing.T) {
 	if set.NumShards() != 3 || set.Len() != 3 {
 		t.Errorf("tiny build: %d shards, %d elements", set.NumShards(), set.Len())
 	}
-	got, _, err := set.RangeQuery(geom.Box(geom.V(-1000, -1000, -1000), geom.V(1000, 1000, 1000)))
+	got, _, err := set.RangeQuery(context.Background(), geom.Box(geom.V(-1000, -1000, -1000), geom.V(1000, 1000, 1000)))
 	if err != nil {
 		t.Fatal(err)
 	}

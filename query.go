@@ -1,0 +1,231 @@
+package flat
+
+import (
+	"context"
+	"errors"
+	"iter"
+)
+
+// ErrConsumed is returned (through the iterator) when a Results session
+// is iterated a second time: a session is one query execution, not a
+// reusable container.
+var ErrConsumed = errors.New("flat: query session already consumed")
+
+// queryConfig is the resolved option set of one query session.
+type queryConfig struct {
+	limit  int // > 0: stop the crawl after this many results
+	buffer int // > 0: run the crawl in a pipeline goroutine with this channel capacity
+}
+
+// QueryOption configures a Query session.
+type QueryOption func(*queryConfig)
+
+// WithLimit stops the query after k results have been emitted. The stop
+// is a property of the crawl, not of the caller: the BFS abandons its
+// frontier the moment the k-th element is delivered, so the pages the
+// rest of the crawl would have read are never touched. On a sharded
+// index, shards the stream never reaches are not queried at all.
+// k <= 0 means unlimited.
+func WithLimit(k int) QueryOption {
+	return func(c *queryConfig) { c.limit = k }
+}
+
+// WithBuffer runs the crawl in a pipeline goroutine that stays n
+// elements ahead of the consumer: page reads overlap with the caller's
+// per-element work instead of alternating with it. Without it the crawl
+// runs inline on the consumer's goroutine (no concurrency, no extra
+// allocation). Abandoning the iteration (break) stops the pipeline
+// promptly and releases its resources; n <= 0 means unbuffered inline
+// execution.
+func WithBuffer(n int) QueryOption {
+	return func(c *queryConfig) { c.buffer = n }
+}
+
+// runFunc is the guarded executor a session runs over: both Index and
+// ShardedIndex provide one backed by their engine or shard set.
+type runFunc func(ctx context.Context, q MBR, emit func(Element) bool) (QueryStats, error)
+
+// Results is one streaming query session, created by Index.Query or
+// ShardedIndex.Query. Nothing happens until it is iterated: ranging
+// over All drains the two-phase query incrementally, in the same
+// deterministic order RangeQuery returns, and stops crawling — saving
+// the remaining page reads — as soon as the caller breaks out or the
+// session's limit is reached.
+//
+//	res := ix.Query(ctx, box, flat.WithLimit(100))
+//	for el, err := range res.All() {
+//		if err != nil { ... }
+//		use(el)
+//	}
+//	cost := res.Stats()
+//
+// A session is single-use and belongs to one goroutine; Stats and Err
+// are valid once the iteration has finished (drained, limited, broken
+// out of, cancelled or failed).
+type Results struct {
+	ctx   context.Context
+	q     MBR
+	cfg   queryConfig
+	guard *queryGuard
+	run   runFunc
+
+	started bool
+	stats   QueryStats
+	err     error
+}
+
+func newResults(ctx context.Context, q MBR, opts []QueryOption, guard *queryGuard, run runFunc) *Results {
+	r := &Results{ctx: ctx, q: q, guard: guard, run: run}
+	for _, opt := range opts {
+		opt(&r.cfg)
+	}
+	return r
+}
+
+// All returns the session's element stream as a range-able iterator.
+// The yielded error is non-nil only on the terminal pair: a page-read
+// failure or, when the session's context is cancelled mid-crawl, the
+// context's error. The index's query guard is held for exactly the
+// duration of the iteration, so Close and DropCache report ErrBusy
+// while a session is being drained — never while one is merely held.
+func (r *Results) All() iter.Seq2[Element, error] {
+	return func(yield func(Element, error) bool) {
+		if r.started {
+			yield(Element{}, ErrConsumed)
+			return
+		}
+		r.started = true
+		if err := r.guard.enter(); err != nil {
+			r.err = err
+			yield(Element{}, err)
+			return
+		}
+		defer r.guard.exit()
+		if r.cfg.buffer > 0 {
+			r.drainPipelined(yield)
+			return
+		}
+		r.drainInline(yield)
+	}
+}
+
+// drainInline runs the crawl on the consumer's goroutine: each element
+// is yielded from inside the crawl's emit callback.
+func (r *Results) drainInline(yield func(Element, error) bool) {
+	n := 0
+	abandoned := false
+	st, err := r.run(r.ctx, r.q, func(e Element) bool {
+		if !yield(e, nil) {
+			abandoned = true
+			return false
+		}
+		n++
+		return r.cfg.limit <= 0 || n < r.cfg.limit
+	})
+	r.stats, r.err = st, err
+	if err != nil && !abandoned {
+		yield(Element{}, err)
+	}
+}
+
+// drainPipelined runs the crawl in a producer goroutine feeding a
+// buffered channel; the consumer drains it. Abandoning the iteration
+// cancels the producer's context and waits for it to stop before
+// releasing the query guard, so the guard never outlives the last page
+// read.
+func (r *Results) drainPipelined(yield func(Element, error) bool) {
+	ctx, cancel := context.WithCancel(r.ctx)
+	ch := make(chan Element, r.cfg.buffer)
+	done := make(chan struct{})
+	var (
+		st     QueryStats
+		runErr error
+	)
+	go func() {
+		defer close(done)
+		n := 0
+		ctxStopped := false
+		st, runErr = r.run(ctx, r.q, func(e Element) bool {
+			select {
+			case ch <- e:
+			case <-ctx.Done():
+				// Stopped while blocked on the send: either the session's
+				// context was cancelled or the consumer abandoned the
+				// iteration (which cancels the derived ctx). The crawl
+				// sees a clean stop either way, so a real cancellation
+				// must be re-surfaced from the parent context below.
+				ctxStopped = true
+				return false
+			}
+			n++
+			return r.cfg.limit <= 0 || n < r.cfg.limit
+		})
+		// Sort derived-ctx effects into the session's contract: the
+		// consumer abandoning the iteration cancels only the derived
+		// ctx and is a clean early stop, never an error; the session's
+		// own context going done is an error even when the crawl saw it
+		// as a clean stop (blocked on the send above).
+		if pErr := r.ctx.Err(); pErr != nil {
+			if runErr == nil && ctxStopped {
+				runErr = pErr
+			}
+		} else if errors.Is(runErr, context.Canceled) {
+			runErr = nil
+		}
+		close(ch)
+	}()
+	defer func() {
+		cancel()
+		<-done
+		r.stats, r.err = st, runErr
+	}()
+	for e := range ch {
+		if !yield(e, nil) {
+			return
+		}
+	}
+	<-done
+	// Publish the outcome before the terminal yield: the consumer may
+	// read Stats()/Err() from inside its error handling (Collect does).
+	r.stats, r.err = st, runErr
+	if runErr != nil {
+		yield(Element{}, runErr)
+	}
+}
+
+// Collect drains the session into a slice — the bridge the classic
+// RangeQuery signature is a wrapper over.
+func (r *Results) Collect() ([]Element, QueryStats, error) {
+	var out []Element
+	for e, err := range r.All() {
+		if err != nil {
+			return nil, r.stats, err
+		}
+		out = append(out, e)
+	}
+	return out, r.stats, nil
+}
+
+// count drains the session without materializing elements.
+func (r *Results) count() (int, QueryStats, error) {
+	n := 0
+	for _, err := range r.All() {
+		if err != nil {
+			return 0, r.stats, err
+		}
+		n++
+	}
+	return n, r.stats, nil
+}
+
+// Stats reports the page-read statistics of the session's execution —
+// the same per-query accounting RangeQuery returns. It is valid once
+// the iteration has finished for any reason (drained, limit hit, broken
+// out of, cancelled, failed) and covers exactly the work performed up
+// to that point; before the iteration it is zero.
+func (r *Results) Stats() QueryStats { return r.stats }
+
+// Err reports the error the session terminated with, if any: the same
+// error the iterator yielded on its terminal pair (nil after a clean
+// drain or an early stop).
+func (r *Results) Err() error { return r.err }

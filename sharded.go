@@ -1,6 +1,7 @@
 package flat
 
 import (
+	"context"
 	"fmt"
 
 	"flat/internal/geom"
@@ -101,26 +102,57 @@ func OpenShardedWithOptions(dir string, opts *ShardedOptions) (*ShardedIndex, er
 	return &ShardedIndex{set: set}, nil
 }
 
+// Query starts a streaming query session over q, with the same session
+// semantics as Index.Query: nothing is read until the Results iterator
+// is drained, ctx aborts the crawl between page reads, WithLimit stops
+// it after k results and WithBuffer pipelines it. The surviving shards
+// are visited sequentially in shard order — a stream delivers elements
+// incrementally either way, sequential visitation keeps the emit order
+// identical to RangeQuery's deterministic shard-order concatenation,
+// and it is what lets WithLimit skip trailing shards entirely. The
+// materializing RangeQuery/CountQuery keep the parallel scatter-gather;
+// choose the session path for incremental delivery and early exit, the
+// classic calls for lowest whole-result latency.
+func (sx *ShardedIndex) Query(ctx context.Context, q MBR, opts ...QueryOption) *Results {
+	return newResults(ctx, q, opts, &sx.guard, func(ctx context.Context, q MBR, emit func(Element) bool) (QueryStats, error) {
+		return sx.set.Query(ctx, q, emit)
+	})
+}
+
 // RangeQuery returns every indexed element whose MBR intersects q. The
 // stats are the merged per-shard statistics of the scatter-gather; the
 // result concatenates the surviving shards' results in shard order, so
-// it is deterministic for a given index. It is safe for concurrent use.
+// it is deterministic for a given index (and element-for-element
+// identical to draining a Query session). It is safe for concurrent
+// use; it is shorthand for RangeQueryContext with context.Background().
 func (sx *ShardedIndex) RangeQuery(q MBR) ([]Element, QueryStats, error) {
+	return sx.RangeQueryContext(context.Background(), q)
+}
+
+// RangeQueryContext is RangeQuery under a context: a done ctx aborts
+// every in-flight per-shard crawl of the scatter-gather with ctx.Err().
+func (sx *ShardedIndex) RangeQueryContext(ctx context.Context, q MBR) ([]Element, QueryStats, error) {
 	if err := sx.guard.enter(); err != nil {
 		return nil, QueryStats{}, err
 	}
 	defer sx.guard.exit()
-	return sx.set.RangeQuery(q)
+	return sx.set.RangeQuery(ctx, q)
 }
 
 // CountQuery returns the number of elements intersecting q without
 // materializing them. It is safe for concurrent use.
 func (sx *ShardedIndex) CountQuery(q MBR) (int, QueryStats, error) {
+	return sx.CountQueryContext(context.Background(), q)
+}
+
+// CountQueryContext is CountQuery under a context, with the same
+// cancellation semantics as RangeQueryContext.
+func (sx *ShardedIndex) CountQueryContext(ctx context.Context, q MBR) (int, QueryStats, error) {
 	if err := sx.guard.enter(); err != nil {
 		return 0, QueryStats{}, err
 	}
 	defer sx.guard.exit()
-	return sx.set.CountQuery(q)
+	return sx.set.CountQuery(ctx, q)
 }
 
 // PointQuery returns the elements whose MBR contains p. It is safe for
@@ -134,13 +166,19 @@ func (sx *ShardedIndex) PointQuery(p Vec3) ([]Element, QueryStats, error) {
 // semantics as Index.BatchRangeQuery (each query additionally fans out
 // over its shards).
 func (sx *ShardedIndex) BatchRangeQuery(queries []MBR, workers int) ([]BatchResult, error) {
+	return sx.BatchRangeQueryContext(context.Background(), queries, workers)
+}
+
+// BatchRangeQueryContext is BatchRangeQuery under a context, with the
+// same cancellation semantics as Index.BatchRangeQueryContext.
+func (sx *ShardedIndex) BatchRangeQueryContext(ctx context.Context, queries []MBR, workers int) ([]BatchResult, error) {
 	if err := sx.guard.enter(); err != nil {
 		return nil, err
 	}
 	defer sx.guard.exit()
 	out := make([]BatchResult, len(queries))
-	err := runBatch(len(queries), workers, func(i int) error {
-		els, st, err := sx.set.RangeQuery(queries[i])
+	err := runBatch(ctx, len(queries), workers, func(i int) error {
+		els, st, err := sx.set.RangeQuery(ctx, queries[i])
 		out[i] = BatchResult{Elements: els, Stats: st}
 		return err
 	})
@@ -150,14 +188,20 @@ func (sx *ShardedIndex) BatchRangeQuery(queries []MBR, workers int) ([]BatchResu
 // BatchCountQuery is BatchRangeQuery without materializing result
 // elements: it returns each query's hit count and stats in input order.
 func (sx *ShardedIndex) BatchCountQuery(queries []MBR, workers int) ([]int, []QueryStats, error) {
+	return sx.BatchCountQueryContext(context.Background(), queries, workers)
+}
+
+// BatchCountQueryContext is BatchCountQuery under a context, with the
+// same cancellation semantics as Index.BatchRangeQueryContext.
+func (sx *ShardedIndex) BatchCountQueryContext(ctx context.Context, queries []MBR, workers int) ([]int, []QueryStats, error) {
 	if err := sx.guard.enter(); err != nil {
 		return nil, nil, err
 	}
 	defer sx.guard.exit()
 	counts := make([]int, len(queries))
 	stats := make([]QueryStats, len(queries))
-	err := runBatch(len(queries), workers, func(i int) error {
-		n, st, err := sx.set.CountQuery(queries[i])
+	err := runBatch(ctx, len(queries), workers, func(i int) error {
+		n, st, err := sx.set.CountQuery(ctx, queries[i])
 		counts[i], stats[i] = n, st
 		return err
 	})
@@ -235,34 +279,43 @@ func (sx *ShardedIndex) Rebuild() ([]int, error) {
 	return sx.set.Rebuild()
 }
 
+// The plain accessors below hold the guard's view side: they stay valid
+// after Close (they read in-memory state the Close does not tear down),
+// but serialize against Rebuild — which swaps the state they read — and
+// the other maintenance operations. See the "Lifecycle of plain
+// accessors" package note.
+
 // ShardGeneration returns the on-disk generation of shard i — how many
 // times the shard has been rebuilt since its directory was created.
 // Memory-backed indexes always report 0.
-func (sx *ShardedIndex) ShardGeneration(i int) uint64 { return sx.set.Generation(i) }
+func (sx *ShardedIndex) ShardGeneration(i int) uint64 {
+	defer sx.guard.view()()
+	return sx.set.Generation(i)
+}
 
 // Len returns the number of bulkloaded elements across shards; staged
 // inserts and deletes count only after the Rebuild that folds them in.
-func (sx *ShardedIndex) Len() int { return sx.set.Len() }
+func (sx *ShardedIndex) Len() int { defer sx.guard.view()(); return sx.set.Len() }
 
 // NumShards returns K, the number of spatial shards.
-func (sx *ShardedIndex) NumShards() int { return sx.set.NumShards() }
+func (sx *ShardedIndex) NumShards() int { defer sx.guard.view()(); return sx.set.NumShards() }
 
 // NumPartitions returns the total number of partitions (object pages)
 // across shards.
-func (sx *ShardedIndex) NumPartitions() int { return sx.set.NumPartitions() }
+func (sx *ShardedIndex) NumPartitions() int { defer sx.guard.view()(); return sx.set.NumPartitions() }
 
 // ShardBounds returns the directory entry (the data bounds) of shard i;
 // a query is routed to shard i exactly when its box intersects this.
-func (sx *ShardedIndex) ShardBounds(i int) MBR { return sx.set.ShardBounds(i) }
+func (sx *ShardedIndex) ShardBounds(i int) MBR { defer sx.guard.view()(); return sx.set.ShardBounds(i) }
 
 // Bounds returns the bounding box of the indexed data.
-func (sx *ShardedIndex) Bounds() MBR { return sx.set.Bounds() }
+func (sx *ShardedIndex) Bounds() MBR { defer sx.guard.view()(); return sx.set.Bounds() }
 
 // World returns the space the shard assignment was derived in.
-func (sx *ShardedIndex) World() MBR { return sx.set.World() }
+func (sx *ShardedIndex) World() MBR { defer sx.guard.view()(); return sx.set.World() }
 
 // SizeBytes returns the on-disk footprint across all shards.
-func (sx *ShardedIndex) SizeBytes() uint64 { return sx.set.SizeBytes() }
+func (sx *ShardedIndex) SizeBytes() uint64 { defer sx.guard.view()(); return sx.set.SizeBytes() }
 
 // DropCache empties the shared page cache so the next query starts
 // cold. Like Index.DropCache it returns ErrBusy while queries are in
