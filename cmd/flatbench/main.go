@@ -38,7 +38,8 @@ func main() {
 		nodeCap   = flag.Int("nodecap", 0, "entries per node/page for all indexes (default 16; 0 keeps default)")
 		scale     = flag.Float64("otherscale", 0, "scale factor for the Section VIII data sets (default 1/200)")
 		workers   = flag.String("workers", "", "comma-separated worker counts for the throughput experiment (default 1,4,8,16)")
-		shards    = flag.String("shards", "", "comma-separated shard counts for the shards experiment (default 1,2,4,8)")
+		shards    = flag.String("shards", "", "comma-separated shard counts for the shards/streammerge experiments (default 1,2,4,8)")
+		prefetch  = flag.String("prefetch", "", "comma-separated shard-prefetch widths for the streammerge experiment (default 0,2,4; the sequential baseline 0 is always run)")
 		jsonDir   = flag.String("json", "", "directory to also write each experiment as machine-readable BENCH_<experiment>.json")
 		seed      = flag.Int64("seed", 0, "generator seed (default 1)")
 	)
@@ -85,6 +86,17 @@ func main() {
 				fatalf("bad shard count %q", s)
 			}
 			cfg.Shards = append(cfg.Shards, n)
+		}
+	}
+	if *prefetch != "" {
+		cfg.Prefetch = nil
+		for _, s := range strings.Split(*prefetch, ",") {
+			// 0 is legal here: it is the sequential baseline.
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 0 {
+				fatalf("bad prefetch width %q", s)
+			}
+			cfg.Prefetch = append(cfg.Prefetch, n)
 		}
 	}
 	if *seed != 0 {

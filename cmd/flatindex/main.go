@@ -24,7 +24,10 @@
 // for both index kinds. Queries run as streaming sessions: -limit N
 // stops the crawl after N results, and the reported page reads shrink
 // accordingly (the paper's crawl cost is proportional to the result
-// size, so bounding the results bounds the I/O).
+// size, so bounding the results bounds the I/O); on a sharded index
+// -prefetch P crawls up to P surviving shards concurrently into
+// bounded buffers (flat.WithShardPrefetch) without changing the
+// result order.
 //
 // A sharded index accepts updates between bulkloads: -insert stages
 // the elements of another element file, -delete stages removals by
@@ -50,17 +53,18 @@ import (
 
 func main() {
 	var (
-		data    = flag.String("data", "", "binary element file (required)")
-		index   = flag.String("index", "", "optional page-file path; empty keeps the index in memory")
-		query   = flag.String("query", "", "range query 'x1,y1,z1,x2,y2,z2'")
-		point   = flag.String("point", "", "point query 'x,y,z'")
-		stats   = flag.Bool("stats", false, "print index statistics")
-		compare = flag.Bool("compare", false, "also run the query on the three R-tree baselines")
-		limit   = flag.Int("limit", 0, "stop the query after this many results (0: unlimited); the crawl aborts early, saving page reads")
-		shards  = flag.Int("shards", 1, "number of spatial shards (>1: sharded index; -index names a directory)")
-		insert  = flag.String("insert", "", "element file whose contents are staged for insertion (sharded index only)")
-		del     = flag.String("delete", "", "comma-separated element ids staged for deletion (sharded index only)")
-		rebuild = flag.Bool("rebuild", false, "fold staged updates in by re-bulkloading only the dirty shards")
+		data     = flag.String("data", "", "binary element file (required)")
+		index    = flag.String("index", "", "optional page-file path; empty keeps the index in memory")
+		query    = flag.String("query", "", "range query 'x1,y1,z1,x2,y2,z2'")
+		point    = flag.String("point", "", "point query 'x,y,z'")
+		stats    = flag.Bool("stats", false, "print index statistics")
+		compare  = flag.Bool("compare", false, "also run the query on the three R-tree baselines")
+		limit    = flag.Int("limit", 0, "stop the query after this many results (0: unlimited); the crawl aborts early, saving page reads")
+		prefetch = flag.Int("prefetch", 0, "crawl up to this many shards concurrently during the query (sharded index only; 0: sequential)")
+		shards   = flag.Int("shards", 1, "number of spatial shards (>1: sharded index; -index names a directory)")
+		insert   = flag.String("insert", "", "element file whose contents are staged for insertion (sharded index only)")
+		del      = flag.String("delete", "", "comma-separated element ids staged for deletion (sharded index only)")
+		rebuild  = flag.Bool("rebuild", false, "fold staged updates in by re-bulkloading only the dirty shards")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -222,7 +226,14 @@ func main() {
 	// reads below reflect the work actually performed, not the full
 	// result's cost.
 	const maxPrint = 10
-	session := ix.Query(context.Background(), q, flat.WithLimit(*limit))
+	opts := []flat.QueryOption{flat.WithLimit(*limit)}
+	if *prefetch > 0 {
+		if _, ok := ix.(*flat.ShardedIndex); !ok {
+			fmt.Printf("warning: -prefetch %d ignored (unsharded index streams from a single crawl)\n", *prefetch)
+		}
+		opts = append(opts, flat.WithShardPrefetch(*prefetch))
+	}
+	session := ix.Query(context.Background(), q, opts...)
 	count := 0
 	for e, err := range session.All() {
 		if err != nil {

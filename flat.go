@@ -345,10 +345,12 @@ func OpenWithOptions(path string, opts *Options) (*Index, error) {
 // checks ctx, so a deadline or cancellation aborts it mid-BFS with
 // ctx.Err(); WithLimit stops it after k results, skipping the page
 // reads the rest of the crawl would have cost; WithBuffer overlaps the
-// crawl's page reads with the caller's per-element work. Safe for
-// concurrent use: any number of sessions may be drained at once.
+// crawl's page reads with the caller's per-element work
+// (WithShardPrefetch only applies to sharded sessions and is a no-op
+// here). Safe for concurrent use: any number of sessions may be
+// drained at once.
 func (ix *Index) Query(ctx context.Context, q MBR, opts ...QueryOption) *Results {
-	return newResults(ctx, q, opts, &ix.guard, func(ctx context.Context, q MBR, emit func(Element) bool) (QueryStats, error) {
+	return newResults(ctx, q, opts, &ix.guard, func(ctx context.Context, q MBR, _ queryConfig, emit func(Element) bool) (QueryStats, error) {
 		return ix.inner.Query(ctx, q, emit)
 	})
 }

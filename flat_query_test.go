@@ -53,7 +53,7 @@ func TestQuerySessionMatchesRangeQuery(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, opts := range [][]QueryOption{nil, {WithBuffer(4)}} {
+			for _, opts := range [][]QueryOption{nil, {WithBuffer(4)}, {WithShardPrefetch(2)}, {WithShardPrefetch(2), WithBuffer(2)}} {
 				if err := ix.DropCache(); err != nil {
 					t.Fatal(err)
 				}
@@ -154,7 +154,7 @@ func TestQueryCancelMidCrawl(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, opts := range [][]QueryOption{nil, {WithBuffer(2)}} {
+		for _, opts := range [][]QueryOption{nil, {WithBuffer(2)}, {WithShardPrefetch(2), WithBuffer(2)}} {
 			if err := ix.DropCache(); err != nil {
 				t.Fatal(err)
 			}
@@ -405,6 +405,152 @@ func TestQuerySessionOverlay(t *testing.T) {
 	}
 	if n != len(want) || sawFresh != len(fresh) {
 		t.Fatalf("limited overlay drain: %d elements (%d staged), want %d (%d staged)", n, sawFresh, len(want), len(fresh))
+	}
+}
+
+// TestQuerySessionPrefetchParity: with staged updates pending, a
+// prefetching session is element-for-element identical to RangeQuery
+// and to the sequential session — at K = 1 and K = 4, prefetch on and
+// off, limited and unlimited.
+func TestQuerySessionPrefetchParity(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	els := randomElements(r, 3000)
+	for _, k := range []int{1, 4} {
+		sx, err := BuildSharded(append([]Element(nil), els...), &ShardedOptions{Shards: k, PageCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := Box(V(5, 5, 5), V(95, 95, 95))
+		base, _, err := sx.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base) < 20 {
+			t.Fatalf("K=%d: test box too selective (%d results)", k, len(base))
+		}
+		if err := sx.StageDelete(base[2].ID, base[2].Box); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			c := V(10+float64(i)*15, 10+float64(i)*15, 10+float64(i)*15)
+			if err := sx.StageInsert(Element{ID: uint64(700000 + i), Box: CubeAt(c, 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, _, err := sx.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, prefetch := range []int{0, 2} {
+			for _, limit := range []int{0, 1, 4, len(want)} {
+				opts := []QueryOption{WithLimit(limit)}
+				if prefetch > 0 {
+					opts = append(opts, WithShardPrefetch(prefetch), WithBuffer(2))
+				}
+				res := sx.Query(context.Background(), q, opts...)
+				var got []Element
+				for e, err := range res.All() {
+					if err != nil {
+						t.Fatalf("K=%d prefetch=%d limit=%d: %v", k, prefetch, limit, err)
+					}
+					got = append(got, e)
+				}
+				wantN := len(want)
+				if limit > 0 && limit < wantN {
+					wantN = limit
+				}
+				if len(got) != wantN {
+					t.Fatalf("K=%d prefetch=%d limit=%d: %d elements, want %d", k, prefetch, limit, len(got), wantN)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("K=%d prefetch=%d limit=%d: element %d = %v, want %v — order diverged",
+							k, prefetch, limit, i, got[i], want[i])
+					}
+				}
+				if res.Stats().Results != len(got) {
+					t.Fatalf("K=%d prefetch=%d limit=%d: stats.Results = %d, emitted %d",
+						k, prefetch, limit, res.Stats().Results, len(got))
+				}
+			}
+		}
+		if err := sx.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestQueryLimitPrefetchReadsFewerPages re-asserts the WithLimit
+// page-read saving with the prefetching merge enabled: the window may
+// honestly pay for a few prefetched shards, but a limited session must
+// still read fewer pages than the unbounded query.
+func TestQueryLimitPrefetchReadsFewerPages(t *testing.T) {
+	_, targets := queryTargets(t, 3000)
+	sx := targets["ShardedIndex"]
+	q := Box(V(10, 10, 10), V(60, 60, 60))
+	if err := sx.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	full, fullStats, err := sx.RangeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 20 {
+		t.Fatalf("test box too selective (%d results)", len(full))
+	}
+	if err := sx.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	res := sx.Query(context.Background(), q, WithLimit(3), WithShardPrefetch(2), WithBuffer(1))
+	n := 0
+	for e, err := range res.All() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != full[n] {
+			t.Fatalf("limited element %d = %v, want %v", n, e, full[n])
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("WithLimit(3) delivered %d elements", n)
+	}
+	if st := res.Stats(); st.TotalReads >= fullStats.TotalReads {
+		t.Fatalf("limited prefetching session read %d pages, unbounded %d — limit saved nothing",
+			st.TotalReads, fullStats.TotalReads)
+	}
+}
+
+// TestQueryAbandonNotCancellation is the regression test for the
+// abandonment-attribution race: a consumer break is a documented clean
+// early stop, and must report Err() == nil even when the session's own
+// context goes done at the same moment. Both orders of (cancel, break)
+// are hammered; under -race this also exercises the teardown paths.
+func TestQueryAbandonNotCancellation(t *testing.T) {
+	_, targets := queryTargets(t, 2000)
+	q := Box(V(0, 0, 0), V(100, 100, 100))
+	for name, ix := range targets {
+		for _, opts := range [][]QueryOption{{WithBuffer(2)}, {WithShardPrefetch(2), WithBuffer(2)}} {
+			for i := 0; i < 200; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				res := ix.Query(ctx, q, opts...)
+				for e, err := range res.All() {
+					if err != nil {
+						t.Fatalf("%s iter %d: first pair yielded %v", name, i, err)
+					}
+					_ = e
+					if i%2 == 0 {
+						cancel() // parent goes done first ...
+					}
+					break // ... and the consumer breaks: the clean stop must win
+				}
+				cancel()
+				if res.Err() != nil {
+					t.Fatalf("%s iter %d (opts %d): abandoned session Err() = %v, want nil",
+						name, i, len(opts), res.Err())
+				}
+			}
+		}
 	}
 }
 

@@ -60,6 +60,11 @@ type Config struct {
 	// {1, 2, 4, 8}; K=1 is also the parity check against the unsharded
 	// index.
 	Shards []int
+	// Prefetch is the shard-prefetch sweep of the streaming-merge
+	// experiment. Default {0, 2, 4}; the sequential baseline (0) the
+	// other widths are compared against is always run, even when the
+	// sweep omits it.
+	Prefetch []int
 	// Seed drives every generator.
 	Seed int64
 }
@@ -77,6 +82,7 @@ func DefaultConfig() Config {
 		OtherScale:        1.0 / 200,
 		Workers:           []int{1, 4, 8, 16},
 		Shards:            []int{1, 2, 4, 8},
+		Prefetch:          []int{0, 2, 4},
 		Seed:              1,
 	}
 }
@@ -351,6 +357,7 @@ var registry = map[string]func(*Runner) ([]*Table, error){
 	"ablation": (*Runner).ablation,
 	"fig23":    (*Runner).fig23,
 	// Beyond the paper: the concurrent-serving and scale-out axes.
-	"throughput": (*Runner).throughput,
-	"shards":     (*Runner).shardsExperiment,
+	"throughput":  (*Runner).throughput,
+	"shards":      (*Runner).shardsExperiment,
+	"streammerge": (*Runner).streamMerge,
 }

@@ -1,0 +1,182 @@
+// Parallel streaming shard merge.
+//
+// A streaming query session on a sharded set delivers the surviving
+// shards strictly in shard order — that is what keeps its emit order
+// element-for-element identical to RangeQuery's deterministic
+// shard-order concatenation, and what lets an early stop skip whole
+// shards. Visiting the shards *sequentially*, however, forfeits the
+// scatter parallelism the materializing path has: while the consumer
+// drains shard i, shards i+1.. sit idle.
+//
+// This file recovers that parallelism without giving up the order: up
+// to P shard crawls run ahead of the consumer, each emitting into a
+// bounded per-shard buffer, while the consumer drains the buffers
+// strictly in shard order. Only the page reads overlap; the emit order
+// is exactly the sequential path's. An early stop — the consumer's
+// emit returning false, a done context, a failed shard — cancels the
+// in-flight crawls as a group, waits for every one of them, and merges
+// the page reads they performed into the returned QueryStats:
+// prefetching must never under-report the work it actually did.
+
+package shard
+
+import (
+	"context"
+
+	"flat/internal/core"
+	"flat/internal/geom"
+)
+
+// DefaultStreamBuffer is the per-shard buffer capacity (in elements) of
+// a prefetching stream when StreamOptions.Buffer is unset.
+const DefaultStreamBuffer = 32
+
+// StreamOptions tunes Set.StreamQuery.
+type StreamOptions struct {
+	// Prefetch is the maximum number of shard crawls in flight at once.
+	// <= 0 visits the surviving shards sequentially on the caller's
+	// goroutine (the zero-goroutine default). 1 runs one crawl at a
+	// time, pipelined a shard buffer ahead of the consumer; larger
+	// values additionally crawl later shards while earlier ones are
+	// drained. Values past the surviving shard count are clamped.
+	Prefetch int
+	// Buffer is the per-shard buffer capacity in elements of a
+	// prefetching stream (<= 0: DefaultStreamBuffer). It bounds how far
+	// a prefetched crawl can run ahead of the consumer: once a shard's
+	// buffer is full its crawl blocks, so memory and wasted page reads
+	// stay proportional to Prefetch × Buffer even when the stream is
+	// abandoned early. Ignored when Prefetch <= 0.
+	Buffer int
+}
+
+// StreamQuery is Query with explicit streaming options: opts.Prefetch
+// launches up to that many shard crawls ahead of the consumer, each
+// filling a bounded buffer, while the stream is still delivered
+// strictly in shard order — the emit order (and, on a full drain, the
+// page-read statistics) is identical to the sequential Query. The
+// zero StreamOptions is exactly Query.
+func (s *Set) StreamQuery(ctx context.Context, q geom.MBR, opts StreamOptions, emit func(geom.Element) bool) (core.QueryStats, error) {
+	ins, dels := s.overlayFor(q)
+	sel := s.Prune(q)
+	if opts.Prefetch > 0 && len(sel) > 0 {
+		return s.queryMerge(ctx, q, sel, ins, dels, opts, emit)
+	}
+	return s.querySequential(ctx, q, sel, ins, dels, emit)
+}
+
+// shardStream is one prefetched shard crawl: the bounded channel the
+// crawl emits into plus the outcome it finished with. stats and err are
+// final once done is closed; ch is closed when the crawl stops emitting
+// (completion, error, or group cancellation).
+type shardStream struct {
+	ch    chan geom.Element
+	stats core.QueryStats
+	err   error
+	done  chan struct{}
+}
+
+// queryMerge is the prefetching merge behind StreamQuery. It maintains
+// a window of crawls over sel: when the consumer is draining sel[d],
+// shards sel[d+1] .. sel[d+prefetch-1] are crawling into their buffers
+// (never further — a limited session must not pay for shards beyond
+// the window it abandoned). The deferred group teardown makes every
+// exit path uniform: cancel whatever is still crawling, wait for every
+// launched crawl, and fold its reads into the merged stats.
+func (s *Set) queryMerge(ctx context.Context, q geom.MBR, sel []int, ins []geom.Element, dels []pendingDelete, opts StreamOptions, emit func(geom.Element) bool) (merged core.QueryStats, err error) {
+	prefetch := opts.Prefetch
+	if prefetch > len(sel) {
+		prefetch = len(sel)
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = DefaultStreamBuffer
+	}
+
+	// Every crawl hangs off one derived context, so a single cancel
+	// stops the group; a crawl observes it at its next page read or
+	// buffer send.
+	mctx, cancel := context.WithCancel(ctx)
+
+	streams := make([]*shardStream, len(sel))
+	gathered := make([]bool, len(sel))
+	launched := 0
+	launch := func() {
+		st := &shardStream{ch: make(chan geom.Element, buffer), done: make(chan struct{})}
+		streams[launched] = st
+		ix := s.shards[sel[launched]]
+		launched++
+		go func() {
+			defer close(st.done)
+			st.stats, st.err = ix.Query(mctx, q, func(e geom.Element) bool {
+				select {
+				case st.ch <- e:
+					return true
+				case <-mctx.Done():
+					return false
+				}
+			})
+			close(st.ch)
+		}()
+	}
+
+	emitted := 0
+	stopped := false
+	defer func() {
+		cancel()
+		for i := 0; i < launched; i++ {
+			if gathered[i] {
+				continue
+			}
+			<-streams[i].done
+			merged.Add(streams[i].stats)
+		}
+		// Results counts the elements actually emitted, not the sum of
+		// what the prefetched crawls produced into their buffers.
+		merged.Results = emitted
+	}()
+
+	for launched < prefetch {
+		launch()
+	}
+	for drain := 0; drain < launched; drain++ {
+		st := streams[drain]
+		for e := range st.ch {
+			if matchesDelete(dels, e) {
+				continue
+			}
+			emitted++
+			if !emit(e) {
+				stopped = true
+				break
+			}
+		}
+		if stopped {
+			// The consumer's stop is a documented clean early exit; the
+			// teardown absorbs the cancelled crawls' stats, and their
+			// context.Canceled outcomes are deliberately not surfaced.
+			return merged, nil
+		}
+		// The channel closed, so the crawl is finished; absorb its
+		// outcome before deciding whether to continue.
+		<-st.done
+		merged.Add(st.stats)
+		gathered[drain] = true
+		if st.err != nil {
+			return merged, st.err
+		}
+		// Slide the window: keep prefetch crawls in flight past the
+		// consumer's new position.
+		for launched < len(sel) && launched <= drain+prefetch {
+			launch()
+		}
+	}
+	// Staged inserts stream last, in staging order, exactly as in the
+	// sequential path.
+	for _, e := range ins {
+		emitted++
+		if !emit(e) {
+			break
+		}
+	}
+	return merged, nil
+}

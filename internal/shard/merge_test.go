@@ -1,0 +1,370 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"flat/internal/core"
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+// collectStream drains a StreamQuery into a slice.
+func collectStream(t *testing.T, s *Set, ctx context.Context, q geom.MBR, opts StreamOptions) ([]geom.Element, core.QueryStats) {
+	t.Helper()
+	var out []geom.Element
+	st, err := s.StreamQuery(ctx, q, opts, func(e geom.Element) bool {
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, st
+}
+
+// TestStreamQueryOrderParity pins the tentpole invariant: a prefetching
+// stream is element-for-element identical to RangeQuery's shard-order
+// concatenation and to the sequential stream, at every prefetch width
+// and buffer size — and on a full drain its page-read statistics are
+// the sequential path's too.
+func TestStreamQueryOrderParity(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	els := randomElements(r, 4000)
+	for _, k := range []int{1, 4} {
+		set, err := Build(append([]geom.Element(nil), els...), Config{Shards: k, PageCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range testQueries(rand.New(rand.NewSource(42)), 8) {
+			set.DropCache()
+			want, wantStats, err := set.RangeQuery(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, opts := range []StreamOptions{
+				{},
+				{Prefetch: 1},
+				{Prefetch: 2, Buffer: 1},
+				{Prefetch: 4},
+				{Prefetch: 64, Buffer: 3},
+			} {
+				set.DropCache()
+				got, st := collectStream(t, set, context.Background(), q, opts)
+				if len(got) != len(want) {
+					t.Fatalf("K=%d query %d opts %+v: %d elements, RangeQuery %d", k, qi, opts, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("K=%d query %d opts %+v: element %d = %v, RangeQuery %v — emit order diverged",
+							k, qi, opts, i, got[i], want[i])
+					}
+				}
+				if st != wantStats {
+					t.Fatalf("K=%d query %d opts %+v: stats %+v, RangeQuery %+v", k, qi, opts, st, wantStats)
+				}
+			}
+		}
+		set.Close()
+	}
+}
+
+// TestStreamQueryPrefetchWindow is the acceptance criterion for early
+// stops: a stream abandoned in shard 0 with prefetch p must read no
+// pages at all from shards beyond the first p surviving shards. The
+// cache starts cold and is unbounded, so the cached frames after the
+// stream are exactly the pages it read — counted per shard via the
+// page-id shard tag.
+func TestStreamQueryPrefetchWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	els := randomElements(r, 6000)
+	set, err := Build(append([]geom.Element(nil), els...), Config{Shards: 4, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	q := set.Bounds() // survives pruning on every shard
+	sel := set.Prune(q)
+	if len(sel) != 4 {
+		t.Fatalf("query box survives on %d shards, want 4", len(sel))
+	}
+
+	framesPerShard := func() map[int]int {
+		seen := make(map[int]int)
+		set.Pool().DropFramesIf(func(id storage.PageID) bool {
+			sh, _ := storage.SplitShardPageID(id)
+			seen[sh]++
+			return false
+		})
+		return seen
+	}
+
+	for _, prefetch := range []int{1, 2, 3} {
+		set.DropCache()
+		st, err := set.StreamQuery(context.Background(), q,
+			StreamOptions{Prefetch: prefetch, Buffer: 1},
+			func(geom.Element) bool { return false }) // stop on the first element
+		if err != nil {
+			t.Fatalf("prefetch %d: %v", prefetch, err)
+		}
+		seen := framesPerShard()
+		total := 0
+		for i, sh := range sel {
+			total += seen[sh]
+			if i >= prefetch && seen[sh] != 0 {
+				t.Fatalf("prefetch %d: shard %d (window position %d) has %d cached frames — read outside the prefetch window",
+					prefetch, sh, i, seen[sh])
+			}
+		}
+		if seen[sel[0]] == 0 {
+			t.Fatalf("prefetch %d: the drained shard read no pages", prefetch)
+		}
+		// The stats must honestly cover every page the window read,
+		// including prefetched-but-undrained shards.
+		if st.TotalReads != uint64(total) {
+			t.Fatalf("prefetch %d: stats report %d reads, cache holds %d frames", prefetch, st.TotalReads, total)
+		}
+		if st.Results != 1 {
+			t.Fatalf("prefetch %d: stats.Results = %d, want 1", prefetch, st.Results)
+		}
+	}
+}
+
+// TestStreamQueryCancelMidMerge cancels the parent context while the
+// prefetching merge is mid-flight: the stream must terminate with the
+// context's error, report the partial work in its stats, and leave the
+// shared cache consistent.
+func TestStreamQueryCancelMidMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	els := randomElements(r, 6000)
+	set, err := Build(append([]geom.Element(nil), els...), Config{Shards: 4, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	q := set.Bounds()
+	want, _, err := set.RangeQuery(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	set.DropCache()
+	n := 0
+	st, err := set.StreamQuery(ctx, q, StreamOptions{Prefetch: 3, Buffer: 2}, func(geom.Element) bool {
+		n++
+		if n == 3 {
+			cancel()
+		}
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("cancelled merge returned %v, want context.Canceled", err)
+	}
+	if n >= len(want) || n < 3 {
+		t.Fatalf("cancelled merge emitted %d of %d elements — not a mid-merge abort", n, len(want))
+	}
+	if st.TotalReads == 0 || st.Results != n {
+		t.Fatalf("cancelled merge stats %+v after %d emits — partial work not reported", st, n)
+	}
+
+	after, _, err := set.RangeQuery(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(want) {
+		t.Fatalf("after cancelled merge RangeQuery returns %d elements, want %d", len(after), len(want))
+	}
+	for i := range after {
+		if after[i] != want[i] {
+			t.Fatalf("result %d differs after cancelled merge", i)
+		}
+	}
+}
+
+// TestStreamQueryOverlayParity: the merged stream applies the staged-
+// update overlay exactly like the sequential stream and RangeQuery —
+// deletes filtered inline, staged inserts appended last in staging
+// order — at K = 1 and K = 4, prefetch on and off.
+func TestStreamQueryOverlayParity(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	els := randomElements(r, 3000)
+	for _, k := range []int{1, 4} {
+		set, err := Build(append([]geom.Element(nil), els...), Config{Shards: k, PageCapacity: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := set.Bounds()
+		base, _, err := set.RangeQuery(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Delete two bulkloaded elements and stage inserts spread over
+		// the whole space, so with K > 1 they route to several shards.
+		for _, doomed := range []geom.Element{base[1], base[len(base)/2]} {
+			if err := set.StageDelete(doomed.ID, doomed.Box); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rr := rand.New(rand.NewSource(46))
+		for i := 0; i < 12; i++ {
+			c := geom.V(rr.Float64()*100, rr.Float64()*100, rr.Float64()*100)
+			if err := set.StageInsert(geom.Element{ID: uint64(800000 + i), Box: geom.CubeAt(c, 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, _, err := set.RangeQuery(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []StreamOptions{{}, {Prefetch: 2, Buffer: 2}, {Prefetch: 4}} {
+			got, _ := collectStream(t, set, context.Background(), q, opts)
+			if len(got) != len(want) {
+				t.Fatalf("K=%d opts %+v: %d elements, RangeQuery %d", k, opts, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("K=%d opts %+v: overlaid element %d = %v, RangeQuery %v", k, opts, i, got[i], want[i])
+				}
+			}
+		}
+		set.Close()
+	}
+}
+
+// TestStagedInsertOrderAcrossShards is the regression test for the
+// cross-shard staging-order bug: inserts routed to different shards in
+// interleaved order must come back in staging order — the documented
+// contract — not grouped by shard.
+func TestStagedInsertOrderAcrossShards(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	els := randomElements(r, 3000)
+	set, err := Build(append([]geom.Element(nil), els...), Config{Shards: 4, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	// Alternate inserts between two far-apart corners so consecutive
+	// stagings route to different shards.
+	corners := []geom.MBR{
+		geom.CubeAt(geom.V(2, 2, 2), 1),
+		geom.CubeAt(geom.V(98, 98, 98), 1),
+	}
+	var wantIDs []uint64
+	for i := 0; i < 10; i++ {
+		id := uint64(900000 + i)
+		if err := set.StageInsert(geom.Element{ID: id, Box: corners[i%2]}); err != nil {
+			t.Fatal(err)
+		}
+		wantIDs = append(wantIDs, id)
+	}
+	// Precondition: the interleave really crossed shard groups —
+	// otherwise this test cannot catch the bug.
+	set.pmu.RLock()
+	groups := 0
+	for _, g := range set.staged {
+		if len(g) > 0 {
+			groups++
+		}
+	}
+	set.pmu.RUnlock()
+	if groups < 2 {
+		t.Fatalf("staged inserts landed in %d shard group(s); need >= 2 to exercise cross-shard ordering", groups)
+	}
+
+	check := func(name string, got []geom.Element) {
+		t.Helper()
+		if len(got) < len(wantIDs) {
+			t.Fatalf("%s: only %d results", name, len(got))
+		}
+		tail := got[len(got)-len(wantIDs):]
+		for i, e := range tail {
+			if e.ID != wantIDs[i] {
+				t.Fatalf("%s: staged insert %d has ID %d, want %d — staging order not preserved across shards",
+					name, i, e.ID, wantIDs[i])
+			}
+		}
+	}
+	q := set.World()
+	out, _, err := set.RangeQuery(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("RangeQuery", out)
+	seq, _ := collectStream(t, set, context.Background(), q, StreamOptions{})
+	check("Query (sequential)", seq)
+	pre, _ := collectStream(t, set, context.Background(), q, StreamOptions{Prefetch: 3})
+	check("StreamQuery (prefetch)", pre)
+}
+
+// pollCtx is a context whose Done channel closes after its Done method
+// has been polled n times — a deterministic way to fail a query midway
+// through its page reads (core polls ctx between reads).
+type pollCtx struct {
+	context.Context
+	mu     sync.Mutex
+	left   int
+	ch     chan struct{}
+	closed bool
+}
+
+func newPollCtx(n int) *pollCtx {
+	return &pollCtx{Context: context.Background(), left: n, ch: make(chan struct{})}
+}
+
+func (c *pollCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.left--
+	if c.left <= 0 && !c.closed {
+		close(c.ch)
+		c.closed = true
+	}
+	return c.ch
+}
+
+func (c *pollCtx) Err() error {
+	select {
+	case <-c.ch:
+		return context.Canceled
+	default:
+		return nil
+	}
+}
+
+// TestScatterErrorKeepsPartialStats is the regression test for the
+// dropped-stats bug: when a shard of the materializing scatter fails,
+// RangeQuery and CountQuery must still report the page reads the
+// scatter performed — "stats cover exactly the work performed" — not a
+// zero QueryStats.
+func TestScatterErrorKeepsPartialStats(t *testing.T) {
+	r := rand.New(rand.NewSource(48))
+	els := randomElements(r, 6000)
+	set, err := Build(append([]geom.Element(nil), els...), Config{Shards: 4, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	q := set.Bounds()
+
+	set.DropCache()
+	_, st, err := set.RangeQuery(newPollCtx(12), q)
+	if err == nil {
+		t.Fatal("poll-limited ctx did not fail the scatter")
+	}
+	if st.TotalReads == 0 {
+		t.Fatalf("RangeQuery error %v came with zero stats — partial work dropped", err)
+	}
+
+	set.DropCache()
+	_, st, err = set.CountQuery(newPollCtx(12), q)
+	if err == nil {
+		t.Fatal("poll-limited ctx did not fail the count scatter")
+	}
+	if st.TotalReads == 0 {
+		t.Fatalf("CountQuery error %v came with zero stats — partial work dropped", err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"flat/internal/core"
 	"flat/internal/geom"
@@ -188,12 +189,21 @@ func (s *Set) overlayFor(q geom.MBR) (ins []geom.Element, dels []pendingDelete) 
 			dels = append(dels, d)
 		}
 	}
+	var pending []stagedInsert
 	for _, g := range s.staged {
 		for _, si := range g {
 			if si.el.Box.Intersects(q) && !matchesDeleteAfter(dels, si.el, si.seq) {
-				ins = append(ins, si.el)
+				pending = append(pending, si)
 			}
 		}
+	}
+	// The contract is "staged inserts are appended in staging order" —
+	// not in shard order. The per-shard lists are each seq-ascending,
+	// so sorting the filtered union by seq restores the global staging
+	// interleave for inserts routed to different shards.
+	sort.Slice(pending, func(a, b int) bool { return pending[a].seq < pending[b].seq })
+	for _, si := range pending {
+		ins = append(ins, si.el)
 	}
 	return ins, dels
 }

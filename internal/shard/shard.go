@@ -397,12 +397,14 @@ func (s *Set) Prune(q geom.MBR) []int {
 // staged updates (see rebuild.go) are overlaid last — staged inserts
 // matching q are appended in staging order and staged deletes filter
 // the bulkloaded results — so reads stay correct between rebuilds.
-// A done ctx aborts the surviving shards' crawls with ctx.Err().
+// A done ctx aborts the surviving shards' crawls with ctx.Err(); like
+// core, a failed query still reports the stats of the work it performed
+// before failing.
 func (s *Set) RangeQuery(ctx context.Context, q geom.MBR) ([]geom.Element, core.QueryStats, error) {
 	ins, dels := s.overlayFor(q)
 	out, st, err := s.rangeShards(ctx, q)
 	if err != nil {
-		return nil, core.QueryStats{}, err
+		return nil, st, err
 	}
 	if len(ins) == 0 && len(dels) == 0 {
 		return out, st, nil
@@ -429,14 +431,17 @@ func (s *Set) rangeShards(ctx context.Context, q geom.MBR) ([]geom.Element, core
 		els[i], stats[i], err = s.shards[shard].RangeQueryContext(ctx, q)
 		return err
 	})
-	if err != nil {
-		return nil, core.QueryStats{}, err
-	}
+	// Merge the per-shard stats whether or not a shard failed: core's
+	// contract is "stats cover exactly the work performed", and a failed
+	// scatter still performed the surviving shards' (partial) reads.
 	var merged core.QueryStats
 	total := 0
 	for i := range els {
 		merged.Add(stats[i])
 		total += len(els[i])
+	}
+	if err != nil {
+		return nil, merged, err
 	}
 	out := make([]geom.Element, 0, total)
 	for _, part := range els {
@@ -454,7 +459,7 @@ func (s *Set) CountQuery(ctx context.Context, q geom.MBR) (int, core.QueryStats,
 	if len(dels) > 0 {
 		els, st, err := s.rangeShards(ctx, q)
 		if err != nil {
-			return 0, core.QueryStats{}, err
+			return 0, st, err
 		}
 		els = applyOverlay(els, ins, dels)
 		st.Results = len(els)
@@ -462,7 +467,7 @@ func (s *Set) CountQuery(ctx context.Context, q geom.MBR) (int, core.QueryStats,
 	}
 	n, st, err := s.countShards(ctx, q)
 	if err != nil {
-		return 0, core.QueryStats{}, err
+		return 0, st, err
 	}
 	if len(ins) > 0 {
 		n += len(ins)
@@ -487,14 +492,15 @@ func (s *Set) countShards(ctx context.Context, q geom.MBR) (int, core.QueryStats
 		counts[i], stats[i], err = s.shards[shard].CountQueryContext(ctx, q)
 		return err
 	})
-	if err != nil {
-		return 0, core.QueryStats{}, err
-	}
+	// As in rangeShards: a failed scatter's partial work still counts.
 	var merged core.QueryStats
 	n := 0
 	for i := range counts {
 		merged.Add(stats[i])
 		n += counts[i]
+	}
+	if err != nil {
+		return 0, merged, err
 	}
 	return n, merged, nil
 }
@@ -504,19 +510,25 @@ func (s *Set) countShards(ctx context.Context, q geom.MBR) (int, core.QueryStats
 // immediately — remaining shards are never visited and the current
 // shard's crawl frontier is abandoned, so an early stop saves the page
 // reads the rest of the query would have cost. Unlike the materializing
-// RangeQuery, the surviving shards are queried *sequentially* in shard
-// order: a stream delivers elements incrementally anyway, sequential
-// visitation keeps the emit order identical to RangeQuery's
+// RangeQuery, the surviving shards are *delivered* strictly in shard
+// order: that keeps the emit order identical to RangeQuery's
 // deterministic shard-order concatenation, and it is what lets an early
-// stop skip whole shards. The staged-update overlay is applied inline:
+// stop skip whole shards. By default the shards are also *visited*
+// sequentially; StreamQuery can prefetch later shards into bounded
+// buffers while earlier ones are drained (see merge.go) without
+// changing the emit order. The staged-update overlay is applied inline:
 // deleted elements are filtered out as they stream by, and staged
 // inserts matching q are emitted last, in staging order.
 //
 // The returned stats cover exactly the work performed; Results counts
 // the elements actually emitted.
 func (s *Set) Query(ctx context.Context, q geom.MBR, emit func(geom.Element) bool) (core.QueryStats, error) {
-	ins, dels := s.overlayFor(q)
-	sel := s.Prune(q)
+	return s.StreamQuery(ctx, q, StreamOptions{}, emit)
+}
+
+// querySequential is the prefetch-free streaming path: surviving shards
+// are crawled one after another on the caller's goroutine.
+func (s *Set) querySequential(ctx context.Context, q geom.MBR, sel []int, ins []geom.Element, dels []pendingDelete, emit func(geom.Element) bool) (core.QueryStats, error) {
 	var st core.QueryStats
 	emitted, stopped := 0, false
 	wrapped := func(e geom.Element) bool {

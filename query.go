@@ -13,8 +13,9 @@ var ErrConsumed = errors.New("flat: query session already consumed")
 
 // queryConfig is the resolved option set of one query session.
 type queryConfig struct {
-	limit  int // > 0: stop the crawl after this many results
-	buffer int // > 0: run the crawl in a pipeline goroutine with this channel capacity
+	limit    int // > 0: stop the crawl after this many results
+	buffer   int // > 0: run the crawl in a pipeline goroutine with this channel capacity
+	prefetch int // > 0: on a sharded session, crawl up to this many shards concurrently
 }
 
 // QueryOption configures a Query session.
@@ -36,14 +37,37 @@ func WithLimit(k int) QueryOption {
 // runs inline on the consumer's goroutine (no concurrency, no extra
 // allocation). Abandoning the iteration (break) stops the pipeline
 // promptly and releases its resources; n <= 0 means unbuffered inline
-// execution.
+// execution. On a sharded session that also sets WithShardPrefetch,
+// the prefetching merge is the pipeline: n then sizes each shard's
+// bounded buffer instead of a single consumer-side channel.
 func WithBuffer(n int) QueryOption {
 	return func(c *queryConfig) { c.buffer = n }
 }
 
+// WithShardPrefetch lets a streaming session on a ShardedIndex crawl up
+// to p surviving shards concurrently: while the consumer drains shard
+// i, shards i+1 .. i+p-1 crawl ahead into bounded per-shard buffers
+// (capacity set by WithBuffer; a default otherwise), recovering the
+// scatter parallelism RangeQuery has without changing the emit order —
+// the stream is still delivered element-for-element in RangeQuery's
+// shard-order concatenation. Shards past the prefetch window are not
+// touched, so a session that stops early (WithLimit, break, cancel)
+// still skips their page reads entirely; crawls in flight at the stop
+// are cancelled as a group and the pages they did read are merged into
+// Stats. p <= 0 keeps the sequential default — the cheapest plan for
+// selective queries that survive pruning on ~1 shard, for sessions
+// expected to stop within the first shard, and on single-core hosts.
+// On an unsharded Index the option is a no-op.
+func WithShardPrefetch(p int) QueryOption {
+	return func(c *queryConfig) { c.prefetch = p }
+}
+
 // runFunc is the guarded executor a session runs over: both Index and
-// ShardedIndex provide one backed by their engine or shard set.
-type runFunc func(ctx context.Context, q MBR, emit func(Element) bool) (QueryStats, error)
+// ShardedIndex provide one backed by their engine or shard set. It
+// receives the session's resolved option set; the sharded executor
+// consumes cfg.prefetch/cfg.buffer (the prefetching merge), the
+// unsharded one ignores it.
+type runFunc func(ctx context.Context, q MBR, cfg queryConfig, emit func(Element) bool) (QueryStats, error)
 
 // Results is one streaming query session, created by Index.Query or
 // ShardedIndex.Query. Nothing happens until it is iterated: ranging
@@ -68,6 +92,12 @@ type Results struct {
 	cfg   queryConfig
 	guard *queryGuard
 	run   runFunc
+
+	// prefetchable marks a run function that consumes cfg.prefetch and
+	// cfg.buffer itself (the sharded prefetching merge); the session
+	// then drains it inline rather than stacking drainPipelined's
+	// consumer-side pipeline on top.
+	prefetchable bool
 
 	started bool
 	stats   QueryStats
@@ -101,7 +131,7 @@ func (r *Results) All() iter.Seq2[Element, error] {
 			return
 		}
 		defer r.guard.exit()
-		if r.cfg.buffer > 0 {
+		if r.cfg.buffer > 0 && !(r.prefetchable && r.cfg.prefetch > 0) {
 			r.drainPipelined(yield)
 			return
 		}
@@ -114,7 +144,7 @@ func (r *Results) All() iter.Seq2[Element, error] {
 func (r *Results) drainInline(yield func(Element, error) bool) {
 	n := 0
 	abandoned := false
-	st, err := r.run(r.ctx, r.q, func(e Element) bool {
+	st, err := r.run(r.ctx, r.q, r.cfg, func(e Element) bool {
 		if !yield(e, nil) {
 			abandoned = true
 			return false
@@ -138,56 +168,65 @@ func (r *Results) drainPipelined(yield func(Element, error) bool) {
 	ch := make(chan Element, r.cfg.buffer)
 	done := make(chan struct{})
 	var (
-		st     QueryStats
-		runErr error
+		st         QueryStats
+		runErr     error
+		ctxStopped bool
 	)
 	go func() {
 		defer close(done)
 		n := 0
-		ctxStopped := false
-		st, runErr = r.run(ctx, r.q, func(e Element) bool {
+		st, runErr = r.run(ctx, r.q, r.cfg, func(e Element) bool {
 			select {
 			case ch <- e:
 			case <-ctx.Done():
 				// Stopped while blocked on the send: either the session's
 				// context was cancelled or the consumer abandoned the
 				// iteration (which cancels the derived ctx). The crawl
-				// sees a clean stop either way, so a real cancellation
-				// must be re-surfaced from the parent context below.
+				// sees a clean stop either way; the finisher below sorts
+				// out which it was.
 				ctxStopped = true
 				return false
 			}
 			n++
 			return r.cfg.limit <= 0 || n < r.cfg.limit
 		})
-		// Sort derived-ctx effects into the session's contract: the
-		// consumer abandoning the iteration cancels only the derived
-		// ctx and is a clean early stop, never an error; the session's
-		// own context going done is an error even when the crawl saw it
-		// as a clean stop (blocked on the send above).
-		if pErr := r.ctx.Err(); pErr != nil {
-			if runErr == nil && ctxStopped {
-				runErr = pErr
-			}
-		} else if errors.Is(runErr, context.Canceled) {
-			runErr = nil
-		}
 		close(ch)
 	}()
-	defer func() {
+	// finish tears the pipeline down and sorts the derived-ctx effects
+	// into the session's contract — on the consumer side, where it is
+	// known whether the consumer abandoned the iteration. Abandonment
+	// is a documented clean early stop and must never be rewritten into
+	// a context error, even when the session's own context happens to
+	// go done concurrently with the break; conversely the session's
+	// context going done is an error even when the crawl saw it as a
+	// clean stop (blocked on the send above).
+	finish := func(abandoned bool) {
 		cancel()
 		<-done
+		switch {
+		case abandoned:
+			if errors.Is(runErr, context.Canceled) {
+				runErr = nil
+			}
+		case r.ctx.Err() != nil:
+			if runErr == nil && ctxStopped {
+				runErr = r.ctx.Err()
+			}
+		case errors.Is(runErr, context.Canceled):
+			runErr = nil
+		}
+		// Publish the outcome before any terminal yield: the consumer
+		// may read Stats()/Err() from inside its error handling
+		// (Collect does).
 		r.stats, r.err = st, runErr
-	}()
+	}
 	for e := range ch {
 		if !yield(e, nil) {
+			finish(true)
 			return
 		}
 	}
-	<-done
-	// Publish the outcome before the terminal yield: the consumer may
-	// read Stats()/Err() from inside its error handling (Collect does).
-	r.stats, r.err = st, runErr
+	finish(false)
 	if runErr != nil {
 		yield(Element{}, runErr)
 	}

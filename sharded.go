@@ -105,18 +105,24 @@ func OpenShardedWithOptions(dir string, opts *ShardedOptions) (*ShardedIndex, er
 // Query starts a streaming query session over q, with the same session
 // semantics as Index.Query: nothing is read until the Results iterator
 // is drained, ctx aborts the crawl between page reads, WithLimit stops
-// it after k results and WithBuffer pipelines it. The surviving shards
-// are visited sequentially in shard order — a stream delivers elements
-// incrementally either way, sequential visitation keeps the emit order
-// identical to RangeQuery's deterministic shard-order concatenation,
-// and it is what lets WithLimit skip trailing shards entirely. The
-// materializing RangeQuery/CountQuery keep the parallel scatter-gather;
-// choose the session path for incremental delivery and early exit, the
-// classic calls for lowest whole-result latency.
+// it after k results and WithBuffer pipelines it. The stream is always
+// delivered in shard order — element-for-element identical to
+// RangeQuery's deterministic shard-order concatenation — and by
+// default the surviving shards are also visited sequentially, which is
+// what lets WithLimit skip trailing shards entirely. WithShardPrefetch
+// recovers the scatter parallelism RangeQuery has without changing the
+// emit order: up to p shards crawl concurrently into bounded buffers
+// (sized by WithBuffer) while the consumer drains earlier ones, and
+// shards past the prefetch window are still never touched by an early
+// stop. The materializing RangeQuery/CountQuery keep the all-at-once
+// scatter-gather; choose the session path for incremental delivery and
+// early exit, the classic calls for lowest whole-result latency.
 func (sx *ShardedIndex) Query(ctx context.Context, q MBR, opts ...QueryOption) *Results {
-	return newResults(ctx, q, opts, &sx.guard, func(ctx context.Context, q MBR, emit func(Element) bool) (QueryStats, error) {
-		return sx.set.Query(ctx, q, emit)
+	r := newResults(ctx, q, opts, &sx.guard, func(ctx context.Context, q MBR, cfg queryConfig, emit func(Element) bool) (QueryStats, error) {
+		return sx.set.StreamQuery(ctx, q, shard.StreamOptions{Prefetch: cfg.prefetch, Buffer: cfg.buffer}, emit)
 	})
+	r.prefetchable = true
+	return r
 }
 
 // RangeQuery returns every indexed element whose MBR intersects q. The
