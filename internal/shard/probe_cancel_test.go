@@ -1,0 +1,45 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"flat/internal/geom"
+)
+
+// Probe: can a parent-context cancellation be swallowed by the merge
+// (err == nil with a truncated result set)?
+func TestProbeCancelSwallow(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	els := randomElements(r, 2000)
+	set, err := Build(append([]geom.Element(nil), els...), Config{Shards: 2, PageCapacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	q := set.Bounds()
+	want, _, err := set.RangeQuery(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swallowed := 0
+	for trial := 0; trial < 300; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		_, serr := set.StreamQuery(ctx, q, StreamOptions{Prefetch: 2, Buffer: 1}, func(geom.Element) bool {
+			n++
+			if n == 5 {
+				cancel()
+			}
+			return true
+		})
+		cancel()
+		if serr == nil && n < len(want) {
+			swallowed++
+		}
+	}
+	if swallowed > 0 {
+		t.Fatalf("cancellation swallowed in %d/300 trials: err == nil with truncated results", swallowed)
+	}
+}
