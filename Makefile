@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race lint flatlint fuzz fmt
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full local gate: gofmt, vet, staticcheck (when available),
+# flatlint, and the race-enabled test suite. See scripts/lint.sh.
+lint:
+	sh scripts/lint.sh
+
+# Just the repo-specific analyzers.
+flatlint:
+	$(GO) run ./cmd/flatlint ./...
+
+# Every fuzz target, 30s each by default (FUZZTIME=... to change).
+fuzz:
+	sh scripts/fuzz.sh
+
+fmt:
+	gofmt -w .

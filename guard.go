@@ -21,7 +21,7 @@ var ErrClosed = errors.New("flat: index is closed")
 // with queries" footgun into a hard error.
 type queryGuard struct {
 	mu     sync.RWMutex
-	closed bool
+	closed bool // guarded by mu
 }
 
 // enter marks a query as in flight. The caller must pair it with exit.

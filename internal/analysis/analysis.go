@@ -1,0 +1,82 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the subset of golang.org/x/tools/go/analysis that FLAT's repo-specific
+// linters (internal/analyzers, cmd/flatlint) need.
+//
+// The real go/analysis module cannot be a dependency here: this module is
+// deliberately dependency-free (no go.sum, builds offline), so the
+// framework — Analyzer/Pass/Diagnostic, a package loader, a diagnostic
+// runner with //lint:ignore suppressions, and an analysistest-style test
+// harness — is reproduced on top of go/parser and go/types. The API
+// mirrors go/analysis closely enough that swapping the import path (and
+// deleting this package) is a mechanical change if the dependency ever
+// becomes acceptable.
+//
+// Packages are loaded by shelling out to `go list -deps -json` for
+// metadata and type-checking every package of the dependency closure
+// from source, in dependency order. That includes the standard library,
+// which sounds heavyweight but measures under two seconds for this
+// repository's whole closure — fine for a lint gate.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass: a named, documented check
+// that inspects a type-checked package and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. By convention it is a short
+	// lower-case word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line summary, then
+	// free-form prose describing exactly what is flagged and how to
+	// fix or suppress a finding.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings
+	// through pass.Report/Reportf; the result value is unused by this
+	// framework (kept for go/analysis API shape).
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single type-checked package
+// and the sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The runner installs it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a Diagnostic attributed to the analyzer and package that
+// produced it, with its position resolved — the runner's output unit.
+type Finding struct {
+	Analyzer string
+	PkgPath  string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}

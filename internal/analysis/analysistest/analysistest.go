@@ -1,0 +1,139 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its diagnostics against // want comments — the same contract
+// as golang.org/x/tools/go/analysis/analysistest, reimplemented on the
+// dependency-free framework in internal/analysis.
+//
+// Layout: dir/src/<pkg>/*.go, analysistest-style. Each expectation is
+// written on the line it applies to:
+//
+//	g.mu.Lock() // want `regexp matching the diagnostic`
+//
+// Several expectations may follow one want. Lines carrying an inert or
+// matching //lint:ignore directive are exercised too: a suppressed
+// diagnostic must NOT have a want comment, which is how the testdata
+// pins the suppression mechanism itself.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"flat/internal/analysis"
+)
+
+// The loader is shared across all Run calls in one test binary so the
+// standard-library closure is type-checked once, not once per analyzer.
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*analysis.Loader{}
+)
+
+// expectation is one // want regex at a file line.
+type expectation struct {
+	rx       *regexp.Regexp
+	consumed bool
+}
+
+// Run loads each testdata package under dir/src, applies the analyzer,
+// and reports any mismatch between its findings and the packages'
+// // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(dir, "src")
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	l, ok := loaders[srcRoot]
+	if !ok {
+		l = analysis.NewLoader("")
+		l.TestdataSrc = srcRoot
+		loaders[srcRoot] = l
+	}
+	for _, path := range pkgPaths {
+		pkg, err := l.LoadTestdata(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+		wants := collectWants(t, pkg)
+		for _, f := range findings {
+			key := posKey{f.Pos.Filename, f.Pos.Line}
+			matched := false
+			for _, w := range wants[key] {
+				if !w.consumed && w.rx.MatchString(f.Message) {
+					w.consumed = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s: unexpected diagnostic: %s", f.Pos, f.Message)
+			}
+		}
+		for key, ws := range wants {
+			for _, w := range ws {
+				if !w.consumed {
+					t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, w.rx)
+				}
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// collectWants parses every // want comment of the package.
+func collectWants(t *testing.T, pkg *analysis.Package) map[posKey][]*expectation {
+	t.Helper()
+	wants := map[posKey][]*expectation{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, text) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					key := posKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the sequence of quoted or backquoted regexes
+// after "// want".
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: want patterns must be quoted or backquoted, got %q", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		pats = append(pats, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return pats
+}

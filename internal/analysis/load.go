@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package — the unit analyzers
+// run on.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Loader loads and type-checks packages. Results are cached per
+// import path, so loading several patterns (or several testdata
+// packages in one test binary) checks each dependency once. A Loader
+// is not safe for concurrent use.
+type Loader struct {
+	// Dir is the directory `go list` runs in; it must be inside the
+	// module whose packages are loaded. Empty means current directory.
+	Dir string
+
+	// TestdataSrc, when non-empty, is an extra import root (analysistest
+	// style: TestdataSrc/<import path>/*.go) consulted before the real
+	// build list. It lets testdata packages import small fixture
+	// packages that live next to them.
+	TestdataSrc string
+
+	fset *token.FileSet
+	pkgs map[string]*Package // by import path; testdata under "testdata:" keys
+}
+
+// NewLoader returns a Loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:  dir,
+		fset: token.NewFileSet(),
+		pkgs: map[string]*Package{},
+	}
+}
+
+// Fset returns the file set every loaded package's positions resolve in.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// listMeta is the subset of `go list -json` output the loader consumes.
+type listMeta struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -json` over patterns and returns the
+// package metadata in dependency order (dependencies first).
+func (l *Loader) goList(patterns ...string) ([]*listMeta, error) {
+	args := append([]string{
+		"list", "-deps",
+		"-json=Dir,ImportPath,Name,GoFiles,Imports,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var metas []*listMeta
+	for dec.More() {
+		m := new(listMeta)
+		if err := dec.Decode(m); err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// Load loads the packages matched by the go list patterns (typically
+// "./..."), type-checking them and their whole dependency closure.
+// Only the directly matched packages are returned, in import-path
+// order; dependencies are checked but not surfaced.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	metas, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, m := range metas {
+		p, err := l.check(m)
+		if err != nil {
+			return nil, err
+		}
+		if !m.DepOnly && p != nil {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// ensure type-checks import path (and its closure) through go list,
+// returning the cached result when already done. It resolves anything
+// the go tool can see — standard library packages included.
+func (l *Loader) ensure(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	metas, err := l.goList(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range metas {
+		if _, err := l.check(m); err != nil {
+			return nil, err
+		}
+	}
+	p, ok := l.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("package %q did not resolve", path)
+	}
+	return p.Types, nil
+}
+
+// check parses and type-checks one listed package, memoized.
+func (l *Loader) check(m *listMeta) (*Package, error) {
+	if m.ImportPath == "unsafe" {
+		return nil, nil
+	}
+	if p, ok := l.pkgs[m.ImportPath]; ok {
+		return p, nil
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("go list %s: %s", m.ImportPath, m.Error.Err)
+	}
+	files, err := l.parseDir(m.Dir, m.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	return l.typeCheck(m.ImportPath, m.Dir, files, importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if p, ok := l.pkgs[path]; ok {
+			return p.Types, nil
+		}
+		// -deps order guarantees dependencies precede dependents, so a
+		// miss here is a loader bug, not a user error.
+		return nil, fmt.Errorf("internal: dependency %q not yet checked", path)
+	}))
+}
+
+// parseDir parses the named files of dir with comments preserved.
+func (l *Loader) parseDir(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		af, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, af)
+	}
+	return files, nil
+}
+
+// typeCheck runs go/types over files and caches the result under key.
+func (l *Loader) typeCheck(key, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tp, _ := conf.Check(strings.TrimPrefix(key, "testdata:"), l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("type-check %s: %v", key, firstErr)
+	}
+	p := &Package{
+		PkgPath: strings.TrimPrefix(key, "testdata:"), Name: tp.Name(), Dir: dir,
+		Fset: l.fset, Syntax: files, Types: tp, TypesInfo: info,
+	}
+	l.pkgs[key] = p
+	return p, nil
+}
+
+// LoadTestdata loads the package rooted at TestdataSrc/<path>,
+// resolving its imports first against TestdataSrc and then against the
+// real build list (which covers the standard library). It exists for
+// the analysistest harness: testdata packages are invisible to go list
+// (testdata directories are ignored by the go tool, keeping fixtures
+// out of `go build ./...`), so they are assembled by hand here.
+func (l *Loader) LoadTestdata(path string) (*Package, error) {
+	if l.TestdataSrc == "" {
+		return nil, fmt.Errorf("loader has no TestdataSrc configured")
+	}
+	if p, ok := l.pkgs["testdata:"+path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.TestdataSrc, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	files, err := l.parseDir(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve imports up front, depth-first: testdata-local packages
+	// are loaded recursively, anything else goes through go list.
+	deps := map[string]*types.Package{}
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			ipath := strings.Trim(spec.Path.Value, `"`)
+			if _, ok := deps[ipath]; ok {
+				continue
+			}
+			if fi, err := os.Stat(filepath.Join(l.TestdataSrc, filepath.FromSlash(ipath))); err == nil && fi.IsDir() {
+				sub, err := l.LoadTestdata(ipath)
+				if err != nil {
+					return nil, err
+				}
+				deps[ipath] = sub.Types
+				continue
+			}
+			tp, err := l.ensure(ipath)
+			if err != nil {
+				return nil, err
+			}
+			deps[ipath] = tp
+		}
+	}
+	return l.typeCheck("testdata:"+path, dir, files, importerFunc(func(ipath string) (*types.Package, error) {
+		if p, ok := deps[ipath]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("testdata package %q imports unresolved %q", path, ipath)
+	}))
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving findings sorted by file position. Findings carrying a
+// //lint:ignore suppression (see Suppressed) are dropped; a directive
+// without a justification does NOT suppress — the finding stays,
+// which is what forces suppressions to explain themselves.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.covers(a.Name, pos.Filename, pos.Line) {
+					return
+				}
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					PkgPath:  pkg.PkgPath,
+					Pos:      pos,
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// suppressions indexes a package's //lint:ignore directives.
+//
+// The directive syntax follows staticcheck:
+//
+//	//lint:ignore name1,name2 justification
+//
+// placed either on the flagged line itself (trailing comment) or on the
+// line directly above it. The justification is mandatory; a directive
+// without one is inert.
+type suppressions struct {
+	// byFile maps filename -> line of the directive -> analyzer names.
+	byFile map[string]map[int][]string
+}
+
+func newSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{byFile: map[string]map[int][]string{}}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s.byFile[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byFile[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore extracts the analyzer names from one //lint:ignore
+// comment. A missing justification disables the directive.
+func parseIgnore(text string) ([]string, bool) {
+	const prefix = "//lint:ignore "
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	fields := strings.Fields(text[len(prefix):])
+	if len(fields) < 2 {
+		// No justification — inert by design.
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// covers reports whether a directive on line or line-1 of file names
+// the analyzer.
+func (s *suppressions) covers(analyzer, file string, line int) bool {
+	lines, ok := s.byFile[file]
+	if !ok {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Inspect walks every file of the pass with ast.Inspect.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,123 @@
+// Package analyzers holds FLAT's repo-specific static-analysis passes:
+// machine checks for the concurrency and query-contract conventions the
+// engine's correctness rests on. Each of the three bugs PR 5 fixed was
+// a violation of a rule that existed only in prose; these analyzers
+// turn those rules into CI failures.
+//
+// The passes run on the dependency-free framework in internal/analysis
+// (an offline re-implementation of the go/analysis API subset they
+// need) and are driven by cmd/flatlint, which runs them all over a
+// package pattern like a vet multichecker.
+//
+// A finding is suppressed, staticcheck-style, with a justified
+// directive on the flagged line or the line above it:
+//
+//	//lint:ignore ctxcrawl baseline measurement code, never on a serving path
+//
+// The justification is mandatory: a bare directive does not suppress.
+//
+// Non-test files only: the analyzers model the shipping code's
+// invariants, and test files legitimately violate several of them
+// (holding guards across assertions, poking at locked state).
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flat/internal/analysis"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CtxCrawl,
+		GuardPair,
+		LockedField,
+		PageIDPack,
+		StatsOnErr,
+	}
+}
+
+// namedTypeName returns the name of t's named type, unwrapping
+// pointers and aliases; "" when t has none.
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isContext reports whether t is context.Context (possibly behind an
+// alias).
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isPagerRead reports whether call is a direct page read: a method
+// named Read, ReadInto or ReadPage whose first argument is a PageID.
+// Matching the argument type rather than the receiver keeps the check
+// honest across the Pool interface, ConcurrentPool, BufferPool, every
+// Pager implementation, and the testdata fixtures.
+func isPagerRead(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Read", "ReadInto", "ReadPage":
+	default:
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	return namedTypeName(tv.Type) == "PageID"
+}
+
+// funcScope walks every function body in the pass — declarations and
+// function literals alike — calling fn once per function with its type
+// and body. Nested literals are visited as their own scopes.
+func funcScope(pass *analysis.Pass, fn func(ftyp *ast.FuncType, recv *ast.FieldList, doc *ast.CommentGroup, body *ast.BlockStmt)) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Type, d.Recv, d.Doc, d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Type, nil, nil, d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// walkShallow traverses the statements and expressions of body without
+// descending into nested function literals, which are separate scopes
+// for every analyzer in this suite.
+func walkShallow(body ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,29 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"flat/internal/analysis/analysistest"
+	"flat/internal/analyzers"
+)
+
+func TestCtxCrawl(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.CtxCrawl, "ctxcrawl")
+}
+
+func TestStatsOnErr(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.StatsOnErr, "statsonerr")
+}
+
+func TestLockedField(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.LockedField, "lockedfield")
+}
+
+func TestPageIDPack(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.PageIDPack, "pageidpack")
+	analysistest.Run(t, "testdata", analyzers.PageIDPack, "storagepkg")
+}
+
+func TestGuardPair(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.GuardPair, "guardpair")
+}

@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"flat/internal/analysis"
+)
+
+// CtxCrawl enforces the Query API v2 cancellation contract: any loop
+// that performs pager reads must consult its context between
+// iterations, so a deadline or client disconnect can stop a crawl
+// between page reads rather than after the whole traversal.
+var CtxCrawl = &analysis.Analyzer{
+	Name: "ctxcrawl",
+	Doc: `loops performing pager reads must consult ctx between iterations
+
+A for/range loop whose body directly calls a page read (Read, ReadInto
+or ReadPage taking a PageID) is a crawl: its iteration count is data-
+dependent and each iteration costs a page read, so it must give
+cancellation a chance between reads. The loop body satisfies the check
+by calling ctx.Err() or receiving from ctx.Done() (directly or in a
+select), or by passing a context into any call — delegating the check
+to a callee such as core's ctxErr helper.
+
+Nested loops are checked independently: an outer loop consulting ctx
+does not excuse an inner page-read loop that never does.
+
+Fix by threading a context through the function and checking it at the
+top of the loop; suppress (//lint:ignore ctxcrawl <why>) only for code
+that is never on a serving query path.`,
+	Run: runCtxCrawl,
+}
+
+func runCtxCrawl(pass *analysis.Pass) (any, error) {
+	funcScope(pass, func(_ *ast.FuncType, _ *ast.FieldList, _ *ast.CommentGroup, body *ast.BlockStmt) {
+		walkShallow(body, func(n ast.Node) bool {
+			var loopBody *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				loopBody = l.Body
+			case *ast.RangeStmt:
+				loopBody = l.Body
+			default:
+				return true
+			}
+			checkLoop(pass, n, loopBody)
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// checkLoop inspects one loop body — excluding nested loops and
+// function literals, which are their own scopes — for pager reads and
+// context consultation.
+func checkLoop(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+	reads := false
+	consults := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch inner := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			// <-ctx.Done(), in or out of a select, lands here via the
+			// Done() call itself.
+			if isPagerRead(pass.TypesInfo, inner) {
+				reads = true
+			}
+			if consultsContext(pass, inner) {
+				consults = true
+			}
+		}
+		return true
+	})
+	if reads && !consults {
+		pass.Reportf(loop.Pos(), "loop performs pager reads but never consults a context; check ctx.Err()/ctx.Done() (or pass ctx to the read path) between page reads")
+	}
+}
+
+// consultsContext reports whether call checks a context: ctx.Err(),
+// ctx.Done(), or any call receiving a context argument (delegation).
+func consultsContext(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "Err" || sel.Sel.Name == "Done" {
+			if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContext(tv.Type) {
+				return true
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}

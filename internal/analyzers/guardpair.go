@@ -1,0 +1,246 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flat/internal/analysis"
+)
+
+// acquirePairs maps each queryGuard acquire method to its release.
+// shutdown is self-contained and view is handled separately (it
+// returns its release func).
+var acquirePairs = map[string]string{
+	"enter":    "exit",
+	"maintain": "release",
+}
+
+// GuardPair checks that every queryGuard acquire is matched by its
+// release on all return paths — the ErrBusy/ErrClosed leak class.
+var GuardPair = &analysis.Analyzer{
+	Name: "guardpair",
+	Doc: `queryGuard acquires must be released on every return path
+
+For methods of a type named queryGuard:
+
+  - enter() pairs with exit(); maintain() pairs with release(). After a
+    successful acquire, the function must install "defer g.exit()" /
+    "defer g.release()", or call the release before every later return
+    statement. Returns inside the acquire's own error-check branch
+    (if err := g.enter(); err != nil { return ... }) are the failed
+    acquire and need no release.
+  - the acquire's error result must not be discarded.
+  - view() returns its release func: a bare "g.view()" statement
+    discards it, and "defer g.view()" defers the acquire instead of the
+    release — the correct form is "defer g.view()()".
+
+The all-paths check is lexical within the function (a release textually
+between the acquire and the return satisfies it), which matches how the
+guard is used; shutdown() is self-contained and not tracked.`,
+	Run: runGuardPair,
+}
+
+func runGuardPair(pass *analysis.Pass) (any, error) {
+	funcScope(pass, func(_ *ast.FuncType, _ *ast.FieldList, _ *ast.CommentGroup, body *ast.BlockStmt) {
+		checkGuardScope(pass, body)
+	})
+	return nil, nil
+}
+
+// guardCall is one call to a queryGuard method within a scope.
+type guardCall struct {
+	call *ast.CallExpr
+	base string // printed receiver expression, e.g. "ix.guard"
+	name string // method name
+}
+
+// checkGuardScope analyzes one function body (nested literals are
+// their own scopes via funcScope).
+func checkGuardScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var acquires, releases []guardCall
+	var deferredReleases []guardCall
+	parents := map[ast.Node]ast.Node{}
+
+	var stack []ast.Node
+	walkShallow(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		gc, ok := guardMethodCall(pass, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case acquirePairs[gc.name] != "":
+			acquires = append(acquires, gc)
+		case gc.name == "exit" || gc.name == "release":
+			if _, isDefer := parents[n].(*ast.DeferStmt); isDefer {
+				deferredReleases = append(deferredReleases, gc)
+			} else {
+				releases = append(releases, gc)
+			}
+		case gc.name == "view":
+			checkView(pass, gc, parents[n])
+		}
+		return true
+	})
+
+	if len(acquires) == 0 {
+		return
+	}
+	var returns []*ast.ReturnStmt
+	walkShallow(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r)
+		}
+		return true
+	})
+
+	for _, acq := range acquires {
+		checkAcquire(pass, acq, parents, releases, deferredReleases, returns)
+	}
+}
+
+// guardMethodCall matches a method call whose receiver is a queryGuard.
+func guardMethodCall(pass *analysis.Pass, call *ast.CallExpr) (guardCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return guardCall{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || namedTypeName(tv.Type) != "queryGuard" {
+		return guardCall{}, false
+	}
+	return guardCall{call: call, base: types.ExprString(ast.Unparen(sel.X)), name: sel.Sel.Name}, true
+}
+
+// checkView validates one view() call against its syntactic parent.
+func checkView(pass *analysis.Pass, gc guardCall, parent ast.Node) {
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(gc.call.Pos(), "%s.view()'s release func is discarded; use defer %s.view()() or assign and call it", gc.base, gc.base)
+	case *ast.DeferStmt:
+		if p.Call == gc.call {
+			pass.Reportf(gc.call.Pos(), "defer %s.view() defers the acquire, not the release; write defer %s.view()()", gc.base, gc.base)
+		}
+	}
+}
+
+// checkAcquire validates one enter/maintain call: error result used,
+// and the matching release present on every non-failure return path.
+func checkAcquire(pass *analysis.Pass, acq guardCall, parents map[ast.Node]ast.Node, releases, deferredReleases []guardCall, returns []*ast.ReturnStmt) {
+	want := acquirePairs[acq.name]
+	if _, discarded := parents[acq.call].(*ast.ExprStmt); discarded {
+		pass.Reportf(acq.call.Pos(), "%s.%s()'s error result is discarded; a rejected acquire (ErrBusy/ErrClosed) must not fall through", acq.base, acq.name)
+		return
+	}
+	exempt := failureBranchReturns(pass, acq, parents)
+
+	// A matching deferred release covers every path from its own
+	// position on; returns between the acquire and the defer leak.
+	var deferPos token.Pos = token.NoPos
+	for _, d := range deferredReleases {
+		if d.base == acq.base && d.name == want && d.call.Pos() > acq.call.Pos() {
+			deferPos = d.call.Pos()
+			break
+		}
+	}
+	var releasePositions []token.Pos
+	for _, r := range releases {
+		if r.base == acq.base && r.name == want {
+			releasePositions = append(releasePositions, r.call.Pos())
+		}
+	}
+
+	if deferPos == token.NoPos && len(releasePositions) == 0 {
+		pass.Reportf(acq.call.Pos(), "%s.%s() is never paired with %s.%s() in this function", acq.base, acq.name, acq.base, want)
+		return
+	}
+
+	end := deferPos
+	if end == token.NoPos {
+		end = token.Pos(int(^uint(0) >> 1)) // every return must be covered
+	}
+	for _, ret := range returns {
+		if ret.Pos() <= acq.call.Pos() || ret.Pos() >= end && deferPos != token.NoPos {
+			continue
+		}
+		if exempt[ret] {
+			continue
+		}
+		covered := false
+		for _, rp := range releasePositions {
+			if rp > acq.call.Pos() && rp < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(ret.Pos(), "return leaks %s acquired by %s.%s() (no %s on this path)", acq.base, acq.base, acq.name, want)
+		}
+	}
+}
+
+// failureBranchReturns collects the returns that belong to the
+// acquire's own error check: the body of an if whose condition tests
+// the acquire's error against nil.
+func failureBranchReturns(pass *analysis.Pass, acq guardCall, parents map[ast.Node]ast.Node) map[*ast.ReturnStmt]bool {
+	exempt := map[*ast.ReturnStmt]bool{}
+	// Find the ident the error result is assigned to, and the if
+	// statement guarding it: either if err := g.enter(); err != nil
+	// { ... } or err := g.enter(); if err != nil { ... }.
+	assign, ok := parents[acq.call].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 {
+		return exempt
+	}
+	errIdent, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return exempt
+	}
+	errObj := pass.TypesInfo.Defs[errIdent]
+	if errObj == nil {
+		errObj = pass.TypesInfo.Uses[errIdent]
+	}
+	markIf := func(ifStmt *ast.IfStmt) {
+		cond, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.NEQ || !isNilIdent(cond.Y) {
+			return
+		}
+		condIdent, ok := ast.Unparen(cond.X).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[condIdent] != errObj {
+			return
+		}
+		ast.Inspect(ifStmt.Body, func(n ast.Node) bool {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				exempt[r] = true
+			}
+			return true
+		})
+	}
+	// Case 1: the assign is the init of an if.
+	if ifStmt, ok := parents[assign].(*ast.IfStmt); ok && ifStmt.Init == assign {
+		markIf(ifStmt)
+		return exempt
+	}
+	// Case 2: a sibling if following the assign in the same block.
+	block, ok := parents[assign].(*ast.BlockStmt)
+	if !ok {
+		return exempt
+	}
+	for _, stmt := range block.List {
+		if ifStmt, ok := stmt.(*ast.IfStmt); ok && ifStmt.Pos() > assign.Pos() {
+			markIf(ifStmt)
+		}
+	}
+	return exempt
+}

@@ -1,0 +1,103 @@
+// Fixtures for the ctxcrawl analyzer: loops performing pager reads
+// must consult a context between iterations.
+package ctxcrawl
+
+import "context"
+
+type PageID uint64
+
+type pool struct{}
+
+func (pool) Read(id PageID) ([]byte, error) { return nil, nil }
+
+func (pool) ReadInto(id PageID, stats *int) ([]byte, error) { return nil, nil }
+
+// crawlNoCtx reads pages in a loop without ever consulting a context.
+func crawlNoCtx(p pool, ids []PageID) error {
+	for _, id := range ids { // want `loop performs pager reads but never consults a context`
+		if _, err := p.Read(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crawlErr consults ctx.Err() between reads.
+func crawlErr(ctx context.Context, p pool, ids []PageID) error {
+	for _, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := p.Read(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crawlSelect consults ctx.Done() in a select between reads.
+func crawlSelect(ctx context.Context, p pool, ids []PageID) error {
+	for _, id := range ids {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if _, err := p.ReadInto(id, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ctxErr(ctx context.Context) error { return ctx.Err() }
+
+// crawlDelegates passes ctx to a helper, delegating the check.
+func crawlDelegates(ctx context.Context, p pool, ids []PageID) error {
+	for _, id := range ids {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if _, err := p.Read(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crawlNested: an outer loop consulting ctx does not excuse the inner
+// page-read loop.
+func crawlNested(ctx context.Context, p pool, ids []PageID) error {
+	for range ids {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for _, id := range ids { // want `loop performs pager reads but never consults a context`
+			if _, err := p.Read(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// crawlSuppressed carries a justified suppression and must not be
+// reported (and so has no want comment).
+func crawlSuppressed(p pool, ids []PageID) error {
+	//lint:ignore ctxcrawl fixture: offline walk, never on a serving query path
+	for _, id := range ids {
+		if _, err := p.Read(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// notARead loops without page reads; nothing to report.
+func notARead(ids []PageID) int {
+	n := 0
+	for range ids {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+// Fixtures for the guardpair analyzer: every queryGuard acquire must
+// be matched by its release on all return paths.
+package guardpair
+
+import "errors"
+
+var errClosed = errors.New("closed")
+
+type queryGuard struct{ closed bool }
+
+func (g *queryGuard) enter() error {
+	if g.closed {
+		return errClosed
+	}
+	return nil
+}
+
+func (g *queryGuard) exit() {}
+
+func (g *queryGuard) maintain() error {
+	if g.closed {
+		return errClosed
+	}
+	return nil
+}
+
+func (g *queryGuard) release() {}
+
+func (g *queryGuard) view() func() { return func() {} }
+
+type index struct {
+	guard queryGuard
+}
+
+// query is the canonical clean shape: acquire, failure check, defer.
+func (ix *index) query() error {
+	if err := ix.guard.enter(); err != nil {
+		return err
+	}
+	defer ix.guard.exit()
+	return nil
+}
+
+// discarded drops the acquire's error on the floor.
+func (ix *index) discarded() {
+	ix.guard.enter() // want `error result is discarded`
+	defer ix.guard.exit()
+}
+
+// leaky returns between the acquire and the deferred release.
+func (ix *index) leaky(fail bool) error {
+	if err := ix.guard.enter(); err != nil {
+		return err
+	}
+	if fail {
+		return errClosed // want `return leaks ix.guard acquired by ix.guard.enter`
+	}
+	defer ix.guard.exit()
+	return nil
+}
+
+// unpaired never releases at all.
+func (ix *index) unpaired() error {
+	if err := ix.guard.maintain(); err != nil { // want `never paired with ix.guard.release`
+		return err
+	}
+	return nil
+}
+
+// explicit releases on every path without a defer; fine.
+func (ix *index) explicit(fail bool) error {
+	if err := ix.guard.maintain(); err != nil {
+		return err
+	}
+	if fail {
+		ix.guard.release()
+		return errClosed
+	}
+	ix.guard.release()
+	return nil
+}
+
+// missing releases on one path but not the other.
+func (ix *index) missing(fail bool) error {
+	if err := ix.guard.maintain(); err != nil {
+		return err
+	}
+	if fail {
+		return errClosed // want `return leaks ix.guard acquired by ix.guard.maintain`
+	}
+	ix.guard.release()
+	return nil
+}
+
+// splitCheck assigns the error first and checks it in a sibling if;
+// the failure return is still recognized.
+func (ix *index) splitCheck() error {
+	err := ix.guard.enter()
+	if err != nil {
+		return err
+	}
+	defer ix.guard.exit()
+	return nil
+}
+
+// viewDiscard drops view's release func.
+func (ix *index) viewDiscard() {
+	ix.guard.view() // want `release func is discarded`
+}
+
+// viewDeferAcquire defers the acquire instead of the release.
+func (ix *index) viewDeferAcquire() {
+	defer ix.guard.view() // want `defers the acquire, not the release`
+}
+
+// viewCorrect is the accessor shape from the public API: the acquire
+// runs now, the returned release func is deferred. Valid after Close —
+// this mirrors the accessor-after-Close contract tests.
+func (ix *index) viewCorrect() int {
+	defer ix.guard.view()()
+	return 1
+}
+
+// viewAssigned names the release func and defers it; also fine.
+func (ix *index) viewAssigned() int {
+	release := ix.guard.view()
+	defer release()
+	return 2
+}
+
+// suppressed documents an intentional leak exercised by tests.
+func (ix *index) suppressed() {
+	//lint:ignore guardpair fixture: intentional leak exercised by the contract tests
+	ix.guard.enter()
+}

@@ -1,0 +1,64 @@
+// Fixtures for the lockedfield analyzer: fields annotated "guarded by
+// <mu>" may only be accessed while that mutex is visibly held.
+package lockedfield
+
+import "sync"
+
+type cache struct {
+	mu    sync.Mutex
+	items map[int]int // guarded by mu
+	hits  int         // unguarded; free to access
+}
+
+// get locks the mutex before touching the guarded field.
+func (c *cache) get(k int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[k]
+}
+
+// tryGet uses TryLock, which also counts as holding.
+func (c *cache) tryGet(k int) (int, bool) {
+	if !c.mu.TryLock() {
+		return 0, false
+	}
+	defer c.mu.Unlock()
+	return c.items[k], true
+}
+
+// bad reads the guarded field without the lock.
+func (c *cache) bad(k int) int {
+	c.hits++
+	return c.items[k] // want `c.items is guarded by mu`
+}
+
+// putLocked requires the caller to hold mu. flatlint:holds mu
+func (c *cache) putLocked(k, v int) {
+	c.items[k] = v
+}
+
+// leakyClosure: the closure may outlive the lock the enclosing
+// function holds, so it is checked as its own scope.
+func (c *cache) leakyClosure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.items[0] // want `c.items is guarded by mu`
+	}
+}
+
+// newCache pokes guarded state during construction, before the value
+// can escape; the suppression documents that.
+func newCache() *cache {
+	c := &cache{}
+	//lint:ignore lockedfield construction: the cache has not escaped yet
+	c.items = map[int]int{}
+	return c
+}
+
+type broken struct {
+	// guarded by missing
+	data int // want `guarded-by annotation names "missing", which is not a field of this struct`
+}
+
+func (b *broken) read() int { return b.data }

@@ -1,0 +1,40 @@
+// Fixtures for the pageidpack analyzer: raw shift/mask arithmetic on
+// PageID is banned outside the storage package.
+package pageidpack
+
+type PageID uint64
+
+const shardShift = 32
+
+// shardOf slices the shard tag out of a PageID by hand.
+func shardOf(id PageID) uint16 {
+	return uint16(uint64(id) >> shardShift) // want `raw shift/mask arithmetic on PageID`
+}
+
+// mask ands a PageID directly.
+func mask(id PageID) PageID {
+	return id & 0xffffffff // want `raw shift/mask arithmetic on PageID`
+}
+
+// pack builds a PageID from shift/or arithmetic.
+func pack(shard uint16, local uint32) PageID {
+	return PageID(uint64(shard)<<shardShift | uint64(local)) // want `raw packing arithmetic on PageID`
+}
+
+// arithmetic that never touches a PageID is fine.
+func unrelated(x uint64) uint64 {
+	return x << 3
+}
+
+// additive arithmetic on PageID is fine; only shifts and masks are
+// layout-dependent.
+func next(id PageID) PageID {
+	return id + 1
+}
+
+// suppressed packs a whole PageID into a wider identifier without
+// slicing the shard tag; the suppression documents that.
+func suppressed(id PageID, slot int) uint64 {
+	//lint:ignore pageidpack fixture: packs the whole PageID, shard tag opaque
+	return uint64(id)<<16 | uint64(slot)
+}

@@ -1,0 +1,13 @@
+// Fixtures for the pageidpack analyzer, negative case: the storage
+// package itself owns the PageID layout and may use raw arithmetic.
+package storage
+
+type PageID uint64
+
+func shardOf(id PageID) uint16 {
+	return uint16(uint64(id) >> 32)
+}
+
+func pack(shard uint16, local uint32) PageID {
+	return PageID(uint64(shard)<<32 | uint64(local))
+}

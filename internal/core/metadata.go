@@ -16,10 +16,13 @@ type RecordRef uint64
 
 // makeRef packs a page id and slot into a RecordRef.
 func makeRef(page storage.PageID, slot int) RecordRef {
+	//lint:ignore pageidpack packs a whole PageID beside a slot; the shard tag is opaque here
 	return RecordRef(uint64(page)<<16 | uint64(slot)&0xffff)
 }
 
 // Page returns the metadata page holding the record.
+//
+//lint:ignore pageidpack recovers the whole PageID; the shard tag is opaque here
 func (r RecordRef) Page() storage.PageID { return storage.PageID(uint64(r) >> 16) }
 
 // Slot returns the record's slot within its page.

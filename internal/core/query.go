@@ -208,6 +208,11 @@ func (eng *Engine) seed(ctx context.Context, q geom.MBR, sc *crawlScratch, local
 		// modified R-tree lookup does.
 		count := metaPageRecordCount(page)
 		for slot := 0; slot < count; slot++ {
+			// Each hit test below costs an object-page read; give
+			// cancellation a chance between them, not just per seed page.
+			if err := ctxErr(ctx); err != nil {
+				return 0, false, err
+			}
 			m, err := decodeMetaRecord(page, slot)
 			if err != nil {
 				return 0, false, err
@@ -303,6 +308,11 @@ func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit 
 			// overflow records; follow the chain (each hop is at most
 			// one metadata page read).
 			for next := m.Overflow; next != noRef; {
+				// Overflow chains are unbounded in record count; a done
+				// ctx must be able to stop mid-chain.
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
 				ovPage, err := eng.pool.ReadInto(next.Page(), local)
 				if err != nil {
 					return err
@@ -344,9 +354,18 @@ func (eng *Engine) CrawlFrom(q geom.MBR, start RecordRef) ([]geom.Element, error
 // order, calling fn with its ref and decoded content. Used by invariant
 // tests and the flatindex CLI inspect mode.
 func (eng *Engine) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, objectPage storage.PageID, neighbors []RecordRef) error) error {
-	return eng.walkMeta(func(page storage.PageID, buf []byte) error {
+	return eng.RecordsContext(context.Background(), fn)
+}
+
+// RecordsContext is Records with cancellation: the walk checks ctx
+// between record decodes, so inspecting a large index can be aborted.
+func (eng *Engine) RecordsContext(ctx context.Context, fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR, objectPage storage.PageID, neighbors []RecordRef) error) error {
+	return eng.walkMeta(ctx, func(page storage.PageID, buf []byte) error {
 		count := metaPageRecordCount(buf)
 		for slot := 0; slot < count; slot++ {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
 			m, err := decodeMetaRecord(buf, slot)
 			if err != nil {
 				return err
@@ -357,6 +376,9 @@ func (eng *Engine) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR
 			// Collect the full neighbor list across the overflow chain.
 			neighbors := m.Neighbors
 			for next := m.Overflow; next != noRef; {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
 				ovPage, err := eng.pool.Read(next.Page())
 				if err != nil {
 					return err
@@ -387,9 +409,12 @@ func (eng *Engine) Records(fn func(ref RecordRef, pageMBR, partitionMBR geom.MBR
 }
 
 // walkMeta visits every metadata page via the seed tree.
-func (eng *Engine) walkMeta(fn func(id storage.PageID, buf []byte) error) error {
+func (eng *Engine) walkMeta(ctx context.Context, fn func(id storage.PageID, buf []byte) error) error {
 	stack := []seedItem{{eng.seedRoot, eng.seedHeight}}
 	for len(stack) > 0 {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		page, err := eng.pool.Read(it.page)

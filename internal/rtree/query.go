@@ -39,6 +39,7 @@ func (t *Tree) query(q geom.MBR, visit func(NodeEntry)) error {
 	stack := make([]storage.PageID, 0, 64)
 	stack = append(stack, t.root)
 	entryBuf := make([]NodeEntry, 0, NodeCapacity)
+	//lint:ignore ctxcrawl baseline R-tree for ablation benchmarks, never on a serving query path
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -75,6 +76,7 @@ func (t *Tree) FindOne(q geom.MBR) (el geom.Element, found bool, err error) {
 	stack := make([]storage.PageID, 0, 64)
 	stack = append(stack, t.root)
 	entryBuf := make([]NodeEntry, 0, NodeCapacity)
+	//lint:ignore ctxcrawl baseline R-tree for ablation benchmarks, never on a serving query path
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -110,6 +112,7 @@ func (t *Tree) Walk(fn func(id storage.PageID, depth int, isLeaf bool, entries [
 		depth int
 	}
 	stack := []item{{t.root, 0}}
+	//lint:ignore ctxcrawl offline inspect/invariant walk, never on a serving query path
 	for len(stack) > 0 {
 		it := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]

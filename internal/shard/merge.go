@@ -164,6 +164,13 @@ func (s *Set) queryMerge(ctx context.Context, q geom.MBR, sel []int, ins []geom.
 		if st.err != nil {
 			return merged, st.err
 		}
+		// The buffer wrapper maps group cancellation to an emit-false
+		// stop, which the crawl reports as a clean nil-error finish; a
+		// done parent context must still abort the stream with its
+		// error (consumer stops, handled above, keep precedence).
+		if cerr := ctx.Err(); cerr != nil {
+			return merged, cerr
+		}
 		// Slide the window: keep prefetch crawls in flight past the
 		// consumer's new position.
 		for launched < len(sel) && launched <= drain+prefetch {
@@ -175,8 +182,8 @@ func (s *Set) queryMerge(ctx context.Context, q geom.MBR, sel []int, ins []geom.
 	for _, e := range ins {
 		emitted++
 		if !emit(e) {
-			break
+			return merged, nil
 		}
 	}
-	return merged, nil
+	return merged, ctx.Err()
 }

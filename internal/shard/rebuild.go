@@ -140,6 +140,7 @@ func (s *Set) DirtyShards() []int {
 // dirtyLocked computes the dirty set; callers hold pmu (either side).
 // A shard is dirty when inserts were routed to it or a staged delete's
 // box intersects its bounds (the delete may name an element there).
+// flatlint:holds pmu
 func (s *Set) dirtyLocked() []int {
 	var dirty []int
 	for i := range s.shards {
@@ -432,6 +433,7 @@ func (s *Set) Rebuild() ([]int, error) {
 // set: its bulkloaded elements and staged inserts, minus the staged
 // deletes (each insert doomed only by deletes staged after it —
 // last-op-wins, matching the query overlay exactly). Callers hold pmu.
+// flatlint:holds pmu
 func (s *Set) mergedElements(sh int) ([]geom.Element, error) {
 	// Every bulkloaded element intersects its shard's bounds, so a range
 	// query over them enumerates the shard.

@@ -100,9 +100,9 @@ type Set struct {
 	// state above) must not run concurrently with queries at all — the
 	// public layer enforces that with its ErrBusy query guard.
 	pmu     sync.RWMutex
-	staged  [][]stagedInsert // per shard: inserts awaiting rebuild
-	deletes []pendingDelete
-	clock   uint64 // staging-order stamp for last-op-wins semantics
+	staged  [][]stagedInsert // per shard: inserts awaiting rebuild; guarded by pmu
+	deletes []pendingDelete  // guarded by pmu
+	clock   uint64           // staging-order stamp for last-op-wins semantics; guarded by pmu
 }
 
 // SplitHilbert reorders els in place along the 3D Hilbert curve of their

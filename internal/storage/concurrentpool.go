@@ -53,9 +53,9 @@ type ConcurrentPool struct {
 
 type poolShard struct {
 	mu     sync.Mutex
-	frames map[PageID]*list.Element
-	lru    *list.List // front = most recently used
-	cap    int        // per-shard frame budget; <= 0 means unbounded
+	frames map[PageID]*list.Element // guarded by mu
+	lru    *list.List               // front = most recently used; guarded by mu
+	cap    int                      // per-shard frame budget; <= 0 means unbounded
 }
 
 // NewConcurrentPool wraps pager in a sharded LRU cache with a total
@@ -70,7 +70,9 @@ func NewConcurrentPool(pager Pager, capacity int) *ConcurrentPool {
 		}
 	}
 	for i := range p.shards {
+		//lint:ignore lockedfield construction: the pool has not escaped yet
 		p.shards[i].frames = make(map[PageID]*list.Element)
+		//lint:ignore lockedfield construction: the pool has not escaped yet
 		p.shards[i].lru = list.New()
 		p.shards[i].cap = perShard
 	}
@@ -178,7 +180,7 @@ func (p *ConcurrentPool) Write(id PageID, src []byte) error {
 }
 
 // insert adds a frame to the shard, evicting its LRU tail when over
-// budget. Callers hold sh.mu.
+// budget. Callers hold sh.mu. flatlint:holds mu
 func (sh *poolShard) insert(id PageID, data []byte) {
 	el := sh.lru.PushFront(&frame{id: id, data: data})
 	sh.frames[id] = el

@@ -1,0 +1,34 @@
+package storage
+
+import "testing"
+
+// FuzzPageIDRoundTrip checks the shard-tag encoding's algebra for
+// arbitrary inputs: ShardPageID followed by SplitShardPageID recovers
+// the shard and local id exactly, shard 0 is the identity mapping (an
+// unsharded index's PageIDs pass through MultiPager untouched), and
+// tagged ids stay inside the 48-bit space the layout documents.
+func FuzzPageIDRoundTrip(f *testing.F) {
+	f.Add(0, uint64(0))
+	f.Add(0, uint64(1))
+	f.Add(1, uint64(2))
+	f.Add(MaxShards-1, uint64(1)<<shardIDShift-1)
+	f.Add(7, uint64(InvalidPage))
+	f.Fuzz(func(t *testing.T, shard int, local uint64) {
+		// Clamp to the domains the encoding documents: a 16-bit shard
+		// tag over a 32-bit local page space.
+		shard &= MaxShards - 1
+		local &= uint64(shardLocalMask)
+
+		id := ShardPageID(shard, PageID(local))
+		gotShard, gotLocal := SplitShardPageID(id)
+		if gotShard != shard || gotLocal != PageID(local) {
+			t.Fatalf("round trip (%d, %d) -> %d -> (%d, %d)", shard, local, id, gotShard, gotLocal)
+		}
+		if shard == 0 && id != PageID(local) {
+			t.Fatalf("shard 0 must be the identity: ShardPageID(0, %d) = %d", local, id)
+		}
+		if uint64(id)>>48 != 0 {
+			t.Fatalf("ShardPageID(%d, %d) = %d overflows the 48-bit id space", shard, local, id)
+		}
+	})
+}

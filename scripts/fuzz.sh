@@ -1,0 +1,18 @@
+#!/bin/sh
+# Run every Go fuzz target in the module for a bounded time each.
+# `go test` accepts at most one -fuzz target per invocation, so the
+# targets are enumerated with -list and run one by one.
+#
+#   FUZZTIME=30s  time budget per target (default)
+set -eu
+cd "$(dirname "$0")/.."
+
+time=${FUZZTIME:-30s}
+status=0
+for pkg in $(go list ./...); do
+	for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
+		echo "== fuzz $pkg $target ($time)"
+		go test -fuzz "^${target}\$" -fuzztime "$time" -run '^$' "$pkg" || status=1
+	done
+done
+exit $status
