@@ -37,6 +37,15 @@
 // mid-rebuild leaves the previous generation openable). Staged changes
 // are visible to the -query/-point of the same invocation even without
 // -rebuild, but are lost at exit unless -rebuild persists them.
+//
+// -pageformat v2 builds with the compressed object-page layout
+// (quantized delta-encoded elements, ~1.7x the density of v1); the
+// format is stamped into the index file, so reopening never needs the
+// flag and the on-disk format wins over it. -mmap serves an existing
+// index out of a read-only memory mapping instead of file reads; it
+// applies only when reopening (a fresh build writes through an
+// ordinary file pager). -stats reports the page format along with
+// bytes-per-element and the packing ratio over v1.
 package main
 
 import (
@@ -65,10 +74,16 @@ func main() {
 		insert   = flag.String("insert", "", "element file whose contents are staged for insertion (sharded index only)")
 		del      = flag.String("delete", "", "comma-separated element ids staged for deletion (sharded index only)")
 		rebuild  = flag.Bool("rebuild", false, "fold staged updates in by re-bulkloading only the dirty shards")
+		pf       = flag.String("pageformat", "v1", "object-page layout for a fresh build: v1 (full precision) or v2 (quantized delta-encoded, ~1.7x denser); reopening reads the format from the index itself")
+		mmap     = flag.Bool("mmap", false, "serve an existing index through a read-only memory mapping instead of file reads (reopen only)")
 	)
 	flag.Parse()
 	if *data == "" {
 		fatalf("-data is required")
+	}
+	format, err := parsePageFormat(*pf)
+	if err != nil {
+		fatalf("bad -pageformat: %v", err)
 	}
 
 	els, err := datagen.LoadElements(*data)
@@ -84,35 +99,52 @@ func main() {
 	// contract, which both index kinds satisfy.
 	var ix flat.QueryIndex
 	if *index != "" {
-		if reopened, err := flat.OpenAny(*index); err == nil {
+		if reopened, err := openExisting(*index, *mmap); err == nil {
 			fmt.Printf("reopened existing index %s\n", *index)
-			// The on-disk shape wins over the -shards flag; say so when
-			// they disagree rather than silently serving the wrong shape.
+			// The on-disk shape and page format win over the -shards and
+			// -pageformat flags; say so when they disagree rather than
+			// silently serving the wrong thing.
 			switch v := reopened.(type) {
 			case *flat.ShardedIndex:
 				if *shards != v.NumShards() {
 					fmt.Printf("warning: %s was built with %d shards; -shards %d ignored (delete it to rebuild)\n",
 						*index, v.NumShards(), *shards)
 				}
+				if flagWasSet("pageformat") {
+					for s := 0; s < v.NumShards(); s++ {
+						if f := v.ShardPageFormat(s); f != format {
+							fmt.Printf("warning: shard %d of %s is %s; -pageformat %s ignored (delete it to rebuild)\n",
+								s, *index, f, format)
+							break
+						}
+					}
+				}
 			case *flat.Index:
 				if *shards > 1 {
 					fmt.Printf("warning: %s is an unsharded page file; -shards %d ignored (delete it to rebuild)\n",
 						*index, *shards)
+				}
+				if flagWasSet("pageformat") && v.PageFormat() != format {
+					fmt.Printf("warning: %s is %s; -pageformat %s ignored (delete it to rebuild)\n",
+						*index, v.PageFormat(), format)
 				}
 			}
 			ix = reopened
 		}
 	}
 	if ix == nil {
+		if *mmap {
+			fmt.Printf("warning: -mmap ignored (index built this invocation; rerun to reopen it memory-mapped)\n")
+		}
 		cp := append([]flat.Element(nil), els...)
 		if *shards > 1 {
-			sx, err := flat.BuildSharded(cp, &flat.ShardedOptions{Shards: *shards, Dir: *index})
+			sx, err := flat.BuildSharded(cp, &flat.ShardedOptions{Shards: *shards, Dir: *index, PageFormat: format})
 			if err != nil {
 				fatalf("build sharded: %v", err)
 			}
 			ix = sx
 		} else {
-			plain, err := flat.Build(cp, &flat.Options{Path: *index})
+			plain, err := flat.Build(cp, &flat.Options{Path: *index, PageFormat: format})
 			if err != nil {
 				fatalf("build: %v", err)
 			}
@@ -129,9 +161,21 @@ func main() {
 		case *flat.Index:
 			fmt.Printf("  seed height:   %d\n", v.SeedHeight())
 			fmt.Printf("  avg neighbors: %.1f\n", v.AvgNeighbors())
+			printFormatStats(v.PageFormat(), v.SizeBytes(), v.Len())
 		case *flat.ShardedIndex:
+			mixed := false
 			for s := 0; s < v.NumShards(); s++ {
-				fmt.Printf("  shard %d:      %v\n", s, v.ShardBounds(s))
+				f := v.ShardPageFormat(s)
+				mixed = mixed || f != v.ShardPageFormat(0)
+				fmt.Printf("  shard %d:      %v %s\n", s, v.ShardBounds(s), f)
+			}
+			if mixed {
+				// Generations built before a format change keep their old
+				// layout until their next rebuild, so a set can be mixed.
+				fmt.Printf("  page format:   mixed (per shard above)\n")
+				fmt.Printf("  bytes/elem:    %.1f (whole index)\n", float64(v.SizeBytes())/float64(v.Len()))
+			} else {
+				printFormatStats(v.ShardPageFormat(0), v.SizeBytes(), v.Len())
 			}
 		}
 	}
@@ -275,6 +319,45 @@ func main() {
 			tr.Close()
 		}
 	}
+}
+
+// openExisting is flat.OpenAny with the -mmap knob: the on-disk shape
+// decides sharded vs plain, the flag decides the pager behind it.
+func openExisting(path string, mmap bool) (flat.QueryIndex, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		return flat.OpenShardedWithOptions(path, &flat.ShardedOptions{Mmap: mmap})
+	}
+	return flat.OpenWithOptions(path, &flat.Options{Mmap: mmap})
+}
+
+func parsePageFormat(s string) (flat.PageFormat, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "v1", "1":
+		return flat.PageFormatV1, nil
+	case "v2", "2":
+		return flat.PageFormatV2, nil
+	}
+	return 0, fmt.Errorf("want v1 or v2, got %q", s)
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == name })
+	return set
+}
+
+// printFormatStats reports the codec-dependent stats lines: which
+// layout the object pages use, the realized on-disk density, and how
+// much denser the layout packs elements than the v1 baseline.
+func printFormatStats(f flat.PageFormat, sizeBytes uint64, n int) {
+	fmt.Printf("  page format:   %s (%d elements/object page)\n", f, flat.ObjectPageCapacity(f))
+	fmt.Printf("  bytes/elem:    %.1f (whole index)\n", float64(sizeBytes)/float64(n))
+	fmt.Printf("  compression:   %.2fx elements per object page vs v1\n",
+		float64(flat.ObjectPageCapacity(f))/float64(flat.ObjectPageCapacity(flat.PageFormatV1)))
 }
 
 func parseFloats(s string, n int) ([]float64, error) {

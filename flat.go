@@ -228,6 +228,30 @@ func CubeAt(c Vec3, side float64) MBR { return geom.CubeAt(c, side) }
 // PageSize is the disk page size used throughout the library (4 KiB).
 const PageSize = storage.PageSize
 
+// PageFormat selects the on-disk object-page layout; see the Options
+// field and the README's "On-disk format" section.
+type PageFormat = storage.PageFormat
+
+const (
+	// PageFormatV1 is the original full-precision layout: 73 elements
+	// per 4 KiB page, each a 48-byte float64 MBR plus a 64-bit id. Boxes
+	// are stored bit-exactly.
+	PageFormatV1 = storage.PageFormatV1
+	// PageFormatV2 is the compressed layout: one full-precision
+	// reference MBR per page plus 32-byte elements whose boxes are
+	// quantized 32-bit offsets into it — 126 elements per page (1.7×
+	// v1). Quantization is conservative: a stored box always contains
+	// the inserted one, with at most ~4/2³² of the page extent of slack
+	// per side, so queries never miss an element; extremely tight
+	// queries can return a near-miss whose stored box grazes them.
+	PageFormatV2 = storage.PageFormatV2
+)
+
+// ObjectPageCapacity reports how many elements one 4 KiB object page
+// holds under the given format: 73 for PageFormatV1, 126 for
+// PageFormatV2.
+func ObjectPageCapacity(f PageFormat) int { return storage.ObjectPageCapacity(f) }
+
 // Options configures Build. The zero value (or nil) gives a memory-backed
 // index with full 4 KiB object pages partitioned over the data's bounds.
 type Options struct {
@@ -250,6 +274,20 @@ type Options struct {
 	// what makes repeated page touches within one query free; call
 	// Index.DropCache to simulate a cold start.
 	BufferPages int
+	// PageFormat selects the object-page layout (zero: PageFormatV1).
+	// PageFormatV2 packs 1.7× the elements per page — proportionally
+	// fewer pages read per query — at the cost of conservatively rounded
+	// element boxes; see the PageFormat constants. The format is recorded
+	// in the index file, so it is a build-time knob only: Open never
+	// needs it.
+	PageFormat PageFormat
+	// Mmap, consulted only by OpenWithOptions, memory-maps the page file
+	// read-only instead of reading it through a file descriptor: cache
+	// misses alias pages straight out of the mapping, copying nothing.
+	// Page-read accounting is unchanged (the cost model counts cache
+	// misses, not syscalls). Ignored by Build, which needs a writable
+	// pager.
+	Mmap bool
 }
 
 // Index is a built FLAT index. See the package documentation for its
@@ -290,6 +328,7 @@ func Build(els []Element, opts *Options) (*Index, error) {
 	inner, err := core.Build(pool, els, core.Options{
 		PageCapacity: o.PageCapacity,
 		SeedFanout:   o.SeedFanout,
+		PageFormat:   o.PageFormat,
 		World:        o.World,
 	})
 	if err != nil {
@@ -315,27 +354,36 @@ func Open(path string) (*Index, error) {
 }
 
 // OpenWithOptions loads a previously built disk-backed index from its
-// page file. Only Options.BufferPages is consulted: it bounds the page
-// cache the same way it does for Build (Path and the build-only knobs
-// are ignored). Queries on the reopened index behave identically to the
-// freshly built one; the build-time analysis accessors (AvgNeighbors)
-// return zero, as they are measurement aids not stored in the index.
+// page file. Only Options.BufferPages and Options.Mmap are consulted:
+// BufferPages bounds the page cache the same way it does for Build, and
+// Mmap serves pages out of a read-only memory mapping (Path and the
+// build-only knobs are ignored — in particular the page format, which
+// is read back from the index file itself). Queries on the reopened
+// index behave identically to the freshly built one; the build-time
+// analysis accessors (AvgNeighbors) return zero, as they are
+// measurement aids not stored in the index.
 func OpenWithOptions(path string, opts *Options) (*Index, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	fp, err := storage.OpenFilePager(path)
+	var pager storage.Pager
+	var err error
+	if o.Mmap {
+		pager, err = storage.OpenMmapPager(path)
+	} else {
+		pager, err = storage.OpenFilePager(path)
+	}
 	if err != nil {
 		return nil, err
 	}
-	pool := storage.NewConcurrentPool(fp, o.BufferPages)
+	pool := storage.NewConcurrentPool(pager, o.BufferPages)
 	inner, err := core.Open(pool)
 	if err != nil {
-		fp.Close()
+		pager.Close()
 		return nil, err
 	}
-	return &Index{inner: inner, pool: pool, pager: fp}, nil
+	return &Index{inner: inner, pool: pool, pager: pager}, nil
 }
 
 // Query starts a streaming query session over q: a cancellable
@@ -551,6 +599,9 @@ func (ix *Index) SeedHeight() int { defer ix.guard.view()(); return ix.inner.See
 
 // SizeBytes returns the on-disk footprint of the index.
 func (ix *Index) SizeBytes() uint64 { defer ix.guard.view()(); return ix.inner.SizeBytes() }
+
+// PageFormat returns the object-page layout the index was built with.
+func (ix *Index) PageFormat() PageFormat { defer ix.guard.view()(); return ix.inner.PageFormat() }
 
 // Bounds returns the bounding box of the indexed data.
 func (ix *Index) Bounds() MBR { defer ix.guard.view()(); return ix.inner.Bounds() }

@@ -1,7 +1,6 @@
 package flat
 
 import (
-	"fmt"
 	"math/rand"
 	"path/filepath"
 	"sort"
@@ -93,25 +92,40 @@ func TestShardedColdReadParityK1(t *testing.T) {
 	// The fanout=8 case keeps Options.SeedFanout and
 	// ShardedOptions.SeedFanout honest: a smaller fanout deepens the
 	// seed tree, so a knob dropped on either path shows up as a
-	// read-count mismatch.
-	for _, fanout := range []int{0, 8} {
-		t.Run(fmt.Sprintf("fanout=%d", fanout), func(t *testing.T) {
+	// read-count mismatch. The v2 case extends the invariant to the
+	// compressed page format: a 1-shard v2 index reads exactly the pages
+	// the unsharded v2 index does.
+	cases := []struct {
+		name   string
+		fanout int
+		format PageFormat
+	}{
+		{"fanout=0", 0, 0},
+		{"fanout=8", 8, 0},
+		{"fanout=8/v2", 8, PageFormatV2},
+	}
+	for _, tc := range cases {
+		fanout, format := tc.fanout, tc.format
+		t.Run(tc.name, func(t *testing.T) {
 			r := rand.New(rand.NewSource(91))
 			els := randomElements(r, 4000)
 			orig := append([]Element(nil), els...)
 			queries := queryWorkload(r, 25)
 
-			base, err := Build(append([]Element(nil), orig...), &Options{PageCapacity: 16, SeedFanout: fanout})
+			base, err := Build(append([]Element(nil), orig...), &Options{PageCapacity: 16, SeedFanout: fanout, PageFormat: format})
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer base.Close()
-			sx, err := BuildSharded(append([]Element(nil), orig...), &ShardedOptions{Shards: 1, PageCapacity: 16, SeedFanout: fanout})
+			sx, err := BuildSharded(append([]Element(nil), orig...), &ShardedOptions{Shards: 1, PageCapacity: 16, SeedFanout: fanout, PageFormat: format})
 			if err != nil {
 				t.Fatal(err)
 			}
 			defer sx.Close()
 
+			if format != 0 && sx.ShardPageFormat(0) != format {
+				t.Fatalf("sharded shard 0 format %v, want %v — knob not plumbed?", sx.ShardPageFormat(0), format)
+			}
 			if fanout != 0 && base.SeedHeight() < 3 {
 				t.Fatalf("fanout %d did not deepen the seed tree (height %d) — knob not plumbed?", fanout, base.SeedHeight())
 			}

@@ -24,6 +24,11 @@ func TestPageIDPack(t *testing.T) {
 	analysistest.Run(t, "testdata", analyzers.PageIDPack, "storagepkg")
 }
 
+func TestCodecBounds(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.CodecBounds, "codecbounds")
+	analysistest.Run(t, "testdata", analyzers.CodecBounds, "storagepkg")
+}
+
 func TestGuardPair(t *testing.T) {
 	analysistest.Run(t, "testdata", analyzers.GuardPair, "guardpair")
 }

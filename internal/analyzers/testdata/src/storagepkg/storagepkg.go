@@ -1,5 +1,6 @@
-// Fixtures for the pageidpack analyzer, negative case: the storage
-// package itself owns the PageID layout and may use raw arithmetic.
+// Fixtures for the pageidpack and codecbounds analyzers, negative
+// case: the storage package itself owns the PageID and page-buffer
+// layouts and may use raw arithmetic and raw byte access.
 package storage
 
 type PageID uint64
@@ -10,4 +11,14 @@ func shardOf(id PageID) uint16 {
 
 func pack(shard uint16, local uint32) PageID {
 	return PageID(uint64(shard)<<32 | uint64(local))
+}
+
+type pool struct{}
+
+func (pool) Read(id PageID) ([]byte, error) { return nil, nil }
+
+// decodeKind is the codec itself: raw page-buffer access is its job.
+func decodeKind(p pool, id PageID) byte {
+	buf, _ := p.Read(id)
+	return buf[0]
 }

@@ -360,4 +360,5 @@ var registry = map[string]func(*Runner) ([]*Table, error){
 	"throughput":  (*Runner).throughput,
 	"shards":      (*Runner).shardsExperiment,
 	"streammerge": (*Runner).streamMerge,
+	"pagecodec":   (*Runner).pagecodec,
 }

@@ -33,12 +33,24 @@ func Build(pool storage.Pool, els []geom.Element, opts Options) (*Index, error) 
 	if len(els) == 0 {
 		return nil, ErrEmpty
 	}
+	format := opts.PageFormat
+	if format == 0 {
+		format = storage.DefaultPageFormat
+	}
+	if !format.Valid() {
+		return nil, fmt.Errorf("core: unknown page format %d", uint8(format))
+	}
+	// The page capacity bound is format-dependent: v2's quantized layout
+	// fits 126 elements per page against v1's 73, and a full page is the
+	// default, so v2 builds produce proportionally fewer (and larger)
+	// partitions.
+	maxCapacity := storage.ObjectPageCapacity(format)
 	capacity := opts.PageCapacity
 	if capacity == 0 {
-		capacity = rtree.NodeCapacity
+		capacity = maxCapacity
 	}
-	if capacity < 1 || capacity > rtree.NodeCapacity {
-		return nil, fmt.Errorf("core: page capacity %d out of range [1,%d]", capacity, rtree.NodeCapacity)
+	if capacity < 1 || capacity > maxCapacity {
+		return nil, fmt.Errorf("core: page capacity %d out of range [1,%d] for format %s", capacity, maxCapacity, format)
 	}
 	bounds := geom.ElementsMBR(els)
 	world := opts.World
@@ -53,7 +65,7 @@ func Build(pool storage.Pool, els []geom.Element, opts Options) (*Index, error) 
 	if opts.SeedFanout < 0 || opts.SeedFanout > rtree.NodeCapacity {
 		return nil, fmt.Errorf("core: seed fanout %d out of range [0,%d]", opts.SeedFanout, rtree.NodeCapacity)
 	}
-	ix := &Index{Engine: Engine{pool: pool}, world: world, bounds: bounds, count: len(els), seedFanout: opts.SeedFanout, noMetaTiling: opts.NoMetaTiling}
+	ix := &Index{Engine: Engine{pool: pool}, world: world, bounds: bounds, count: len(els), seedFanout: opts.SeedFanout, noMetaTiling: opts.NoMetaTiling, pageFormat: format}
 	totalStart := time.Now()
 
 	// Phase 1: STR partitioning (paper: "Partitioning" in Figure 10).
@@ -151,19 +163,18 @@ func computeNeighbors(parts []str.Partition, world geom.MBR) ([][]int, int, erro
 func (ix *Index) write(parts []str.Partition, neighborIdx [][]int) error {
 	buf := make([]byte, storage.PageSize)
 
-	// Object pages, in STR order (preserves spatial locality on disk).
+	// Object pages, in STR order (preserves spatial locality on disk),
+	// encoded under the index's page format (v1 full-precision or v2
+	// quantized — see internal/storage's object-page codec).
 	objIDs := make([]storage.PageID, len(parts))
-	entries := make([]rtree.NodeEntry, 0, rtree.NodeCapacity)
 	for i, p := range parts {
-		entries = entries[:0]
-		for _, e := range p.Elements {
-			entries = append(entries, rtree.NodeEntry{Box: e.Box, Ref: e.ID})
-		}
 		id, err := ix.pool.Alloc(storage.CatObject)
 		if err != nil {
 			return err
 		}
-		rtree.EncodeNode(buf, true, entries)
+		if err := storage.EncodeObjectPage(buf, ix.pageFormat, p.Elements); err != nil {
+			return err
+		}
 		if err := ix.pool.Write(id, buf); err != nil {
 			return err
 		}

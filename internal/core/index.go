@@ -53,6 +53,13 @@ type Options struct {
 	// the locality the paper obtains by storing records in R-tree leaves
 	// (Section V-B.2).
 	NoMetaTiling bool
+	// PageFormat selects the object-page layout: v1 (full float64 MBRs,
+	// the original layout) or v2 (per-page reference MBR + quantized u32
+	// cells, 126 elements per page instead of 73). Zero means
+	// storage.DefaultPageFormat. The format is recorded in the
+	// superblock; queries decode per page, so it never needs to be
+	// supplied again at open time.
+	PageFormat storage.PageFormat
 }
 
 // BuildStats reports where index-construction time went, matching the
@@ -91,6 +98,7 @@ type Index struct {
 	seedInternal  int
 	seedFanout    int
 	noMetaTiling  bool
+	pageFormat    storage.PageFormat
 	objStart      storage.PageID // first object page (pages are contiguous per kind)
 
 	// neighborCounts[i] = number of neighbor pointers of partition i;
@@ -112,6 +120,9 @@ func (ix *Index) Bounds() geom.MBR { return ix.bounds }
 
 // NumPartitions returns the number of partitions (= object pages).
 func (ix *Index) NumPartitions() int { return ix.build.Partitions }
+
+// PageFormat returns the object-page layout the index was built with.
+func (ix *Index) PageFormat() storage.PageFormat { return ix.pageFormat }
 
 // PageCounts returns the number of object, metadata and seed-internal
 // pages.

@@ -18,9 +18,21 @@ import (
 // are build-time measurement aids and are not persisted; the analysis
 // accessors return zero values on a reopened index.
 
+// Superblock versions. Version 1 is the original layout and is still
+// written — byte-identically — for every v1-format index, so files
+// produced before page format v2 existed and new v1 builds stay
+// interchangeable. Version 2 appends the object-page format tag; it is
+// written only when the index actually uses a non-default page format,
+// mirroring the shard manifest's v1/v2 arrangement.
 const (
-	superMagic   = 0x464c4154 // "FLAT"
-	superVersion = 1
+	superMagic     = 0x464c4154 // "FLAT"
+	superVersionV1 = 1
+	superVersionV2 = 2
+	// superFormatOffset is the byte offset of the v2 page-format tag:
+	// the sum of every version-1 field before it (magic, version, seed
+	// root/height/fanout, world, bounds, count, objStart and the four
+	// page/partition counters).
+	superFormatOffset = 4 + 4 + 8 + 4 + 4 + 48 + 48 + 8 + 8 + 4 + 4 + 4 + 4
 )
 
 // ErrNoSuper is returned by Open when the pager holds no superblock.
@@ -33,10 +45,14 @@ func (ix *Index) WriteSuper() error {
 	if err != nil {
 		return err
 	}
+	version := uint32(superVersionV1)
+	if ix.pageFormat != 0 && ix.pageFormat != storage.PageFormatV1 {
+		version = superVersionV2
+	}
 	buf := make([]byte, storage.PageSize)
 	w := storage.NewPageWriter(buf)
 	w.PutU32(superMagic)
-	w.PutU32(superVersion)
+	w.PutU32(version)
 	w.PutU64(uint64(ix.seedRoot))
 	w.PutU32(uint32(ix.seedHeight))
 	w.PutU32(uint32(ix.seedFanout))
@@ -48,6 +64,9 @@ func (ix *Index) WriteSuper() error {
 	w.PutU32(uint32(ix.metadataPages))
 	w.PutU32(uint32(ix.seedInternal))
 	w.PutU32(uint32(ix.build.Partitions))
+	if version >= superVersionV2 {
+		w.PutU8(uint8(ix.pageFormat))
+	}
 	if w.Overflow() {
 		return fmt.Errorf("core: superblock overflow")
 	}
@@ -81,7 +100,8 @@ func OpenFrom(pool storage.Pool, super storage.PageID) (*Index, error) {
 	if r.U32() != superMagic {
 		return nil, ErrNoSuper
 	}
-	if v := r.U32(); v != superVersion {
+	v := r.U32()
+	if v != superVersionV1 && v != superVersionV2 {
 		return nil, fmt.Errorf("core: unsupported index version %d", v)
 	}
 	ix := &Index{Engine: Engine{pool: pool}}
@@ -96,6 +116,13 @@ func OpenFrom(pool storage.Pool, super storage.PageID) (*Index, error) {
 	ix.metadataPages = int(r.U32())
 	ix.seedInternal = int(r.U32())
 	ix.build.Partitions = int(r.U32())
+	ix.pageFormat = storage.PageFormatV1
+	if v >= superVersionV2 {
+		ix.pageFormat = storage.PageFormat(r.U8())
+		if !ix.pageFormat.Valid() {
+			return nil, fmt.Errorf("core: unknown page format %d in superblock", uint8(ix.pageFormat))
+		}
+	}
 
 	if cs, ok := pager.(storage.CategorySetter); ok {
 		id := ix.objStart

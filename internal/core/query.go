@@ -109,6 +109,7 @@ type seedItem struct {
 type crawlScratch struct {
 	stack    []seedItem
 	queue    []RecordRef
+	els      []geom.Element // object-page decode buffer
 	enqueued map[RecordRef]bool
 	visited  map[storage.PageID]bool
 }
@@ -129,6 +130,7 @@ func (sc *crawlScratch) release() {
 	clear(sc.visited)
 	sc.stack = sc.stack[:0]
 	sc.queue = sc.queue[:0]
+	sc.els = sc.els[:0]
 	scratchPool.Put(sc)
 }
 
@@ -221,7 +223,7 @@ func (eng *Engine) seed(ctx context.Context, q geom.MBR, sc *crawlScratch, local
 			if m.ObjectPage == storage.InvalidPage || !m.PageMBR.Intersects(q) {
 				continue
 			}
-			hit, err := eng.objectPageHasHit(m.ObjectPage, q, local)
+			hit, err := eng.objectPageHasHit(m.ObjectPage, q, sc, local)
 			if err != nil {
 				return 0, false, err
 			}
@@ -240,14 +242,21 @@ func (eng *Engine) seed(ctx context.Context, q geom.MBR, sc *crawlScratch, local
 	return 0, false, nil
 }
 
-func (eng *Engine) objectPageHasHit(id storage.PageID, q geom.MBR, local *storage.Stats) (bool, error) {
+func (eng *Engine) objectPageHasHit(id storage.PageID, q geom.MBR, sc *crawlScratch, local *storage.Stats) (bool, error) {
 	page, err := eng.pool.ReadInto(id, local)
 	if err != nil {
 		return false, err
 	}
-	_, entries := rtree.DecodeNode(page)
-	for _, e := range entries {
-		if e.Box.Intersects(q) {
+	// Object pages decode through the format-aware codec (the format tag
+	// is on the page itself), not the R-tree node decoder, so v1 and v2
+	// pages — even mixed across shards — read identically here.
+	els, err := storage.DecodeObjectPageInto(page, sc.els[:0])
+	sc.els = els
+	if err != nil {
+		return false, err
+	}
+	for i := range els {
+		if els[i].Box.Intersects(q) {
 			return true, nil
 		}
 	}
@@ -288,10 +297,14 @@ func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit 
 			if err != nil {
 				return err
 			}
-			_, entries := rtree.DecodeNode(objPage)
-			for _, e := range entries {
-				if e.Box.Intersects(q) {
-					if !emit(geom.Element{ID: e.Ref, Box: e.Box}) {
+			els, err := storage.DecodeObjectPageInto(objPage, sc.els[:0])
+			sc.els = els
+			if err != nil {
+				return err
+			}
+			for i := range els {
+				if els[i].Box.Intersects(q) {
+					if !emit(els[i]) {
 						return nil
 					}
 				}

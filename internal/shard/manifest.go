@@ -59,6 +59,14 @@ type shardEntry struct {
 	// Elements is the shard's element count, cross-checked on Open; -1
 	// (synthesized for v1 manifests) skips the check.
 	Elements int `json:"elements"`
+	// PageFormat is the shard's object-page format (storage.PageFormat);
+	// 0 — and absent, in manifests written before page format v2 existed —
+	// means v1. It is recorded per shard, not per index, because rebuilds
+	// preserve each shard's format: generations of a directory whose
+	// shards were produced under different formats open and query
+	// together (every page decode is self-describing; this field is the
+	// cross-check against each shard's superblock).
+	PageFormat int `json:"page_format,omitempty"`
 }
 
 type manifest struct {
@@ -71,6 +79,17 @@ type manifest struct {
 	SeedFanout   int `json:"seed_fanout,omitempty"`
 	// Entries is the per-shard directory (v2; absent in v1 manifests).
 	Entries []shardEntry `json:"entries,omitempty"`
+}
+
+// manifestFormat converts an index's page format to its manifest
+// encoding: the default v1 is stored as 0 so that v1-format builds keep
+// producing manifests byte-identical to those written before the field
+// existed.
+func manifestFormat(f storage.PageFormat) int {
+	if f == storage.PageFormatV1 {
+		return 0
+	}
+	return int(f)
 }
 
 func mbrToArray(m geom.MBR) [6]float64 {
@@ -190,6 +209,9 @@ func readManifest(dir string) (manifest, error) {
 		for s, e := range m.Entries {
 			if e.File == "" || e.File != filepath.Base(e.File) {
 				return manifest{}, fmt.Errorf("shard: manifest entry %d has invalid file name %q", s, e.File)
+			}
+			if e.PageFormat != 0 && !storage.PageFormat(e.PageFormat).Valid() {
+				return manifest{}, fmt.Errorf("shard: manifest entry %d has unknown page format %d", s, e.PageFormat)
 			}
 		}
 	default:

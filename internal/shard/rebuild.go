@@ -49,12 +49,27 @@ type stagedInsert struct {
 	seq uint64
 }
 
+// deleteMatches reports whether stored element e is the one delete d
+// names. IDs must agree; the boxes match when the stored box contains
+// the requested one (exact equality included). Containment rather than
+// equality is what makes deletes work on page-format-v2 shards, where
+// the stored box is the conservative quantized rounding of the inserted
+// box — it always contains the original, but rarely equals it bit for
+// bit. The original insertion box therefore always matches, as does a
+// box obtained from a current query; a box queried before an
+// intervening rebuild may not (re-quantization can round differently).
+// Duplicate-ID elements whose boxes nest are indistinguishable under
+// this rule; staging deletes for such pairs dooms both.
+func deleteMatches(d pendingDelete, e geom.Element) bool {
+	return d.ID == e.ID && e.Box.Contains(d.Box)
+}
+
 // matchesDelete reports whether e is doomed by any staged delete.
 // Bulkloaded elements predate the whole staging epoch, so every delete
 // applies to them.
 func matchesDelete(dels []pendingDelete, e geom.Element) bool {
 	for _, d := range dels {
-		if d.ID == e.ID && d.Box == e.Box {
+		if deleteMatches(d, e) {
 			return true
 		}
 	}
@@ -65,7 +80,7 @@ func matchesDelete(dels []pendingDelete, e geom.Element) bool {
 // doomed by a delete staged later than it.
 func matchesDeleteAfter(dels []pendingDelete, e geom.Element, seq uint64) bool {
 	for _, d := range dels {
-		if d.seq > seq && d.ID == e.ID && d.Box == e.Box {
+		if d.seq > seq && deleteMatches(d, e) {
 			return true
 		}
 	}
@@ -102,7 +117,10 @@ func (s *Set) StageInsert(els ...geom.Element) error {
 
 // StageDelete stages the removal of the element with the given ID and
 // box (both must match — IDs are opaque caller keys, not assumed
-// unique). The element disappears from query results immediately,
+// unique; the stored box matches when it contains the given one, so the
+// original insertion box works even on quantized v2-format shards whose
+// stored boxes are conservatively rounded — see deleteMatches). The
+// element disappears from query results immediately,
 // whether it lives in a bulkloaded shard or in the staged inserts, and
 // is dropped for good at the next Rebuild; a matching insert staged
 // *after* the delete restores it (last-op-wins). Deleting an element
@@ -183,13 +201,13 @@ func (s *Set) routeShard(b geom.MBR) int {
 func (s *Set) overlayFor(q geom.MBR) (ins []geom.Element, dels []pendingDelete) {
 	s.pmu.RLock()
 	defer s.pmu.RUnlock()
-	// Any element of the result set intersects q, so only deletes whose
-	// box intersects q can match one.
-	for _, d := range s.deletes {
-		if d.Box.Intersects(q) {
-			dels = append(dels, d)
-		}
-	}
+	// All pending deletes are snapshotted, not just those intersecting q:
+	// delete matching is by containment in the *stored* box (see
+	// deleteMatches), and on a quantized v2 shard the stored box can
+	// intersect q while the delete's requested box grazes just outside it.
+	// Delete lists are short between rebuilds, so the unconditional copy
+	// costs little.
+	dels = append(dels, s.deletes...)
 	var pending []stagedInsert
 	for _, g := range s.staged {
 		for _, si := range g {
@@ -314,9 +332,14 @@ func (s *Set) Rebuild() ([]int, error) {
 		if len(s.shards) == 1 {
 			world = s.world
 		}
+		// Each shard is re-bulkloaded under its own page format (not a
+		// set-wide knob): a directory whose shards were produced under
+		// different formats keeps every shard's layout stable across
+		// rebuild generations.
 		ix, err := core.Build(storage.NewBufferPool(view, 0), els, core.Options{
 			PageCapacity: s.pageCapacity,
 			SeedFanout:   s.seedFanout,
+			PageFormat:   s.shards[sh].PageFormat(),
 			World:        world,
 		})
 		if err != nil {
@@ -366,6 +389,7 @@ func (s *Set) Rebuild() ([]int, error) {
 				Generation: s.gens[i],
 				Bounds:     mbrToArray(ix.Bounds()),
 				Elements:   ix.Len(),
+				PageFormat: manifestFormat(ix.PageFormat()),
 			}
 		}
 		for _, b := range built {
@@ -374,6 +398,7 @@ func (s *Set) Rebuild() ([]int, error) {
 				Generation: gen,
 				Bounds:     mbrToArray(b.ix.Bounds()),
 				Elements:   b.ix.Len(),
+				PageFormat: manifestFormat(b.ix.PageFormat()),
 			}
 		}
 		switch err := writeManifest(s.dir, m); {
@@ -388,13 +413,14 @@ func (s *Set) Rebuild() ([]int, error) {
 	// Phase 3: swap the new shards in. Nothing below can fail; the
 	// in-memory state now matches the committed manifest.
 	rebuilt := make(map[int]bool, len(built))
+	oldPagers := make([]storage.Pager, 0, len(built))
 	for _, b := range built {
 		old, err := s.multi.Swap(b.shard, b.pager)
 		if err != nil {
 			// Unreachable: shard numbers come from range over s.shards.
 			return nil, err
 		}
-		old.Close()
+		oldPagers = append(oldPagers, old)
 		s.count += b.ix.Len() - s.shards[b.shard].Len()
 		s.shards[b.shard] = b.ix.WithPool(s.pool)
 		s.bounds[b.shard] = b.ix.Bounds()
@@ -405,11 +431,16 @@ func (s *Set) Rebuild() ([]int, error) {
 	}
 	s.world = world
 	// Invalidate only the rebuilt shards' cached frames; clean shards
-	// keep their warm cache.
+	// keep their warm cache. This must happen before the old pagers are
+	// closed: a memory-mapped shard's cached frames alias its mapping,
+	// which Close unmaps.
 	s.pool.DropFramesIf(func(id storage.PageID) bool {
 		sh, _ := storage.SplitShardPageID(id)
 		return rebuilt[sh]
 	})
+	for _, old := range oldPagers {
+		old.Close()
+	}
 	// Phase 4 (disk): the old generations are garbage now that the
 	// manifest no longer references them.
 	if s.dir != "" && !skipGC {

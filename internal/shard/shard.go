@@ -53,6 +53,12 @@ type Config struct {
 	PageCapacity int
 	// SeedFanout caps seed-tree fanout per shard (0: a full page).
 	SeedFanout int
+	// PageFormat selects every shard's object-page layout (0:
+	// storage.DefaultPageFormat); see core.Options.PageFormat. The format
+	// is recorded per shard in the manifest and in each shard's
+	// superblock, and rebuilds preserve each shard's format, so it never
+	// needs to be supplied again at open time.
+	PageFormat storage.PageFormat
 	// World is the space the data lives in. Like core.Options.World it
 	// may be zero (the data's bounds are used); it also anchors the
 	// Hilbert quantization grid along which elements are assigned to
@@ -219,6 +225,7 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 		ix, err := core.Build(pool, groups[s], core.Options{
 			PageCapacity: cfg.PageCapacity,
 			SeedFanout:   cfg.SeedFanout,
+			PageFormat:   cfg.PageFormat,
 			World:        shardWorld(s),
 		})
 		if err != nil {
@@ -259,6 +266,7 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 				Generation: gen,
 				Bounds:     mbrToArray(ix.Bounds()),
 				Elements:   ix.Len(),
+				PageFormat: manifestFormat(ix.PageFormat()),
 			}
 		}
 		// The manifest swap is the commit point; once it lands, any file
@@ -314,6 +322,21 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 // have stranded are ignored). bufferPages bounds the shared page cache
 // as in Config.
 func Open(dir string, bufferPages int) (*Set, error) {
+	return open(dir, bufferPages, false)
+}
+
+// OpenMmap is Open with every shard's page file memory-mapped
+// (storage.OpenMmapPager) instead of read through file descriptors:
+// cached frames alias the mapping, so cache misses copy nothing. The
+// set remains fully functional — staging and Rebuild write each new
+// shard generation through an ordinary file pager and swap it in, and
+// the rebuilt shard's aliased frames are dropped before its old mapping
+// is unmapped.
+func OpenMmap(dir string, bufferPages int) (*Set, error) {
+	return open(dir, bufferPages, true)
+}
+
+func open(dir string, bufferPages int, mmap bool) (*Set, error) {
 	m, err := readManifest(dir)
 	if err != nil {
 		return nil, err
@@ -328,7 +351,13 @@ func Open(dir string, bufferPages int) (*Set, error) {
 		}
 	}
 	for s, e := range m.Entries {
-		fp, err := storage.OpenFilePager(filepath.Join(dir, e.File))
+		var fp storage.Pager
+		var err error
+		if mmap {
+			fp, err = storage.OpenMmapPager(filepath.Join(dir, e.File))
+		} else {
+			fp, err = storage.OpenFilePager(filepath.Join(dir, e.File))
+		}
 		if err != nil {
 			closeAll()
 			return nil, err
@@ -370,6 +399,13 @@ func Open(dir string, bufferPages int) (*Set, error) {
 			closeAll()
 			return nil, fmt.Errorf("shard %d: manifest records %d elements but %s holds %d (corrupted index directory)",
 				s, e.Elements, e.File, ix.Len())
+		}
+		// The superblock is authoritative for the page format (decoding is
+		// self-describing anyway); a non-zero manifest record must agree.
+		if e.PageFormat != 0 && storage.PageFormat(e.PageFormat) != ix.PageFormat() {
+			closeAll()
+			return nil, fmt.Errorf("shard %d: manifest records page format %d but %s is %s (corrupted index directory)",
+				s, e.PageFormat, e.File, ix.PageFormat())
 		}
 		set.shards[s] = ix
 		set.bounds[s] = ix.Bounds()

@@ -67,9 +67,15 @@ func (b *BufferPool) ReadInto(id PageID, local *Stats) ([]byte, error) {
 		b.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
 	}
-	data := make([]byte, PageSize)
-	if err := b.pager.ReadPage(id, data); err != nil {
-		return nil, err
+	// A frame-capable pager (mmap) serves the page as an aliased slice
+	// with no read syscall and no copy; the miss is counted identically
+	// either way — the cost model is cache misses, not copies.
+	data, aliased := pageFrame(b.pager, id)
+	if !aliased {
+		data = make([]byte, PageSize)
+		if err := b.pager.ReadPage(id, data); err != nil {
+			return nil, err
+		}
 	}
 	cat := b.pager.CategoryOf(id)
 	b.stats.Reads[cat]++

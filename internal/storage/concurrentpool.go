@@ -126,9 +126,15 @@ func (p *ConcurrentPool) ReadInto(id PageID, local *Stats) ([]byte, error) {
 	// Miss: fetch outside the lock so slow pager reads of different
 	// pages in one shard can overlap. Two goroutines missing on the same
 	// page both hit the pager; both fetches are real and both counted.
-	data := make([]byte, PageSize)
-	if err := p.pager.ReadPage(id, data); err != nil {
-		return nil, err
+	// A frame-capable pager (mmap) serves the page as an immutable
+	// aliased slice instead of a read-and-copy; the miss is counted
+	// identically either way.
+	data, aliased := pageFrame(p.pager, id)
+	if !aliased {
+		data = make([]byte, PageSize)
+		if err := p.pager.ReadPage(id, data); err != nil {
+			return nil, err
+		}
 	}
 	cat := p.pager.CategoryOf(id)
 	p.stats.AddRead(cat)

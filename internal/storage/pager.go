@@ -106,6 +106,35 @@ type CategorySetter interface {
 	SetCategory(id PageID, cat Category)
 }
 
+// FramePager is implemented by pagers that can expose a page's bytes
+// without copying (MmapPager and the shard wrappers around it). Frame
+// returns a slice aliasing the pager's storage: callers must treat it
+// as immutable and not retain it past Close. Pagers that cannot alias
+// the requested page return ErrNoFrame and callers fall back to
+// ReadPage.
+type FramePager interface {
+	Frame(id PageID) ([]byte, error)
+}
+
+// ErrNoFrame is returned by FramePager implementations that cannot
+// serve the requested page without a copy.
+var ErrNoFrame = errors.New("storage: page has no addressable frame")
+
+// pageFrame returns an aliased frame for page id when pg supports one.
+// Any error means "use ReadPage instead" — out-of-range ids surface
+// their error through that fallback.
+func pageFrame(pg Pager, id PageID) ([]byte, bool) {
+	fp, ok := pg.(FramePager)
+	if !ok {
+		return nil, false
+	}
+	b, err := fp.Frame(id)
+	if err != nil || len(b) < PageSize {
+		return nil, false
+	}
+	return b[:PageSize:PageSize], true
+}
+
 func checkBuf(buf []byte, op string) error {
 	if len(buf) < PageSize {
 		return fmt.Errorf("storage: %s buffer too small: %d < %d", op, len(buf), PageSize)

@@ -131,6 +131,19 @@ func (v *ShardView) SetCategory(id PageID, cat Category) {
 	}
 }
 
+// Frame implements FramePager when the wrapped pager does; otherwise it
+// reports ErrNoFrame and callers fall back to ReadPage.
+func (v *ShardView) Frame(id PageID) ([]byte, error) {
+	local, err := v.local(id)
+	if err != nil {
+		return nil, err
+	}
+	if fp, ok := v.sub.(FramePager); ok {
+		return fp.Frame(local)
+	}
+	return nil, ErrNoFrame
+}
+
 // NumPages implements Pager with the wrapped pager's page count. Note
 // that tagged ids do not run 0..NumPages()-1 for shards > 0; callers
 // locating a shard's superblock combine this with ShardPageID.
@@ -232,6 +245,20 @@ func (m *MultiPager) SetCategory(id PageID, cat Category) {
 	}
 }
 
+// Frame implements FramePager, forwarding to the shard's sub-pager when
+// it supports aliased frames (a mix of mmap and file shards works: the
+// pool falls back to ReadPage per shard).
+func (m *MultiPager) Frame(id PageID) ([]byte, error) {
+	sub, local, err := m.route(id)
+	if err != nil {
+		return nil, err
+	}
+	if fp, ok := sub.(FramePager); ok {
+		return fp.Frame(local)
+	}
+	return nil, ErrNoFrame
+}
+
 // Swap replaces the sub-pager serving shard and returns the previous
 // one for the caller to close. It exists for the per-shard rebuild
 // path: a rebuilt shard's new page file is spliced in without touching
@@ -287,4 +314,6 @@ var (
 	_ Pager          = (*MultiPager)(nil)
 	_ CategorySetter = (*ShardView)(nil)
 	_ CategorySetter = (*MultiPager)(nil)
+	_ FramePager     = (*ShardView)(nil)
+	_ FramePager     = (*MultiPager)(nil)
 )

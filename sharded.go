@@ -35,6 +35,16 @@ type ShardedOptions struct {
 	// BuildWorkers bounds how many shards are bulkloaded concurrently
 	// (<= 0: GOMAXPROCS).
 	BuildWorkers int
+	// PageFormat selects every shard's object-page layout (zero:
+	// PageFormatV1), as Options.PageFormat. The format is recorded per
+	// shard (manifest and superblock) and preserved by Rebuild, so
+	// OpenSharded never needs it.
+	PageFormat PageFormat
+	// Mmap, consulted only by OpenShardedWithOptions, memory-maps every
+	// shard's page file read-only, as Options.Mmap. Staging and Rebuild
+	// still work: rebuilt shard generations are written through ordinary
+	// file pagers and swapped in.
+	Mmap bool
 }
 
 // ShardedIndex is a spatially-partitioned FLAT index: K independent
@@ -69,6 +79,7 @@ func BuildSharded(els []Element, opts *ShardedOptions) (*ShardedIndex, error) {
 		Shards:       o.Shards,
 		PageCapacity: o.PageCapacity,
 		SeedFanout:   o.SeedFanout,
+		PageFormat:   o.PageFormat,
 		World:        o.World,
 		Dir:          o.Dir,
 		BufferPages:  o.BufferPages,
@@ -88,14 +99,21 @@ func OpenSharded(dir string) (*ShardedIndex, error) {
 }
 
 // OpenShardedWithOptions loads a previously built disk-backed sharded
-// index from its directory. Only ShardedOptions.BufferPages is
-// consulted; the shard count and geometry come from the manifest.
+// index from its directory. Only ShardedOptions.BufferPages and
+// ShardedOptions.Mmap are consulted; the shard count, geometry and
+// per-shard page formats come from the manifest and the shard files.
 func OpenShardedWithOptions(dir string, opts *ShardedOptions) (*ShardedIndex, error) {
 	var o ShardedOptions
 	if opts != nil {
 		o = *opts
 	}
-	set, err := shard.Open(dir, o.BufferPages)
+	var set *shard.Set
+	var err error
+	if o.Mmap {
+		set, err = shard.OpenMmap(dir, o.BufferPages)
+	} else {
+		set, err = shard.Open(dir, o.BufferPages)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -313,6 +331,14 @@ func (sx *ShardedIndex) NumPartitions() int { defer sx.guard.view()(); return sx
 // ShardBounds returns the directory entry (the data bounds) of shard i;
 // a query is routed to shard i exactly when its box intersects this.
 func (sx *ShardedIndex) ShardBounds(i int) MBR { defer sx.guard.view()(); return sx.set.ShardBounds(i) }
+
+// ShardPageFormat returns the object-page layout of shard i. Shards of
+// one index usually share a format, but generations built under
+// different configurations may mix — every page decodes by its own tag.
+func (sx *ShardedIndex) ShardPageFormat(i int) PageFormat {
+	defer sx.guard.view()()
+	return sx.set.Shard(i).PageFormat()
+}
 
 // Bounds returns the bounding box of the indexed data.
 func (sx *ShardedIndex) Bounds() MBR { defer sx.guard.view()(); return sx.set.Bounds() }
