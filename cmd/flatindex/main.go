@@ -36,7 +36,16 @@
 // generation of its page file; the manifest swap is atomic, so a crash
 // mid-rebuild leaves the previous generation openable). Staged changes
 // are visible to the -query/-point of the same invocation even without
-// -rebuild, but are lost at exit unless -rebuild persists them.
+// -rebuild; without -wal they are lost at exit unless -rebuild persists
+// them.
+//
+// -wal gives a disk-backed sharded index a write-ahead log: staged
+// updates are appended to the log before they take effect and flushed
+// before the invocation exits, so they survive a crash (or kill -9)
+// without any -rebuild — the next invocation replays the log and
+// reports the staged updates as pending again. An existing log-less
+// index is upgraded in place; once the log exists, replay happens on
+// every reopen with or without the flag.
 //
 // -pageformat v2 builds with the compressed object-page layout
 // (quantized delta-encoded elements, ~1.7x the density of v1); the
@@ -76,6 +85,7 @@ func main() {
 		rebuild  = flag.Bool("rebuild", false, "fold staged updates in by re-bulkloading only the dirty shards")
 		pf       = flag.String("pageformat", "v1", "object-page layout for a fresh build: v1 (full precision) or v2 (quantized delta-encoded, ~1.7x denser); reopening reads the format from the index itself")
 		mmap     = flag.Bool("mmap", false, "serve an existing index through a read-only memory mapping instead of file reads (reopen only)")
+		wal      = flag.Bool("wal", false, "write-ahead-log staged updates so they survive a crash without -rebuild (disk-backed sharded index only)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -99,8 +109,16 @@ func main() {
 	// contract, which both index kinds satisfy.
 	var ix flat.QueryIndex
 	if *index != "" {
-		if reopened, err := openExisting(*index, *mmap); err == nil {
+		if reopened, err := openExisting(*index, *mmap, *wal); err == nil {
 			fmt.Printf("reopened existing index %s\n", *index)
+			// An index with a write-ahead log replays it on open: say what
+			// survived so a kill-and-reopen is visible from the outside.
+			if sx, ok := reopened.(*flat.ShardedIndex); ok {
+				if st, err := sx.DeltaStats(); err == nil && (st.Inserts > 0 || st.Deletes > 0) {
+					fmt.Printf("replayed write-ahead log: %d staged inserts, %d staged deletes pending\n",
+						st.Inserts, st.Deletes)
+				}
+			}
 			// The on-disk shape and page format win over the -shards and
 			// -pageformat flags; say so when they disagree rather than
 			// silently serving the wrong thing.
@@ -138,12 +156,18 @@ func main() {
 		}
 		cp := append([]flat.Element(nil), els...)
 		if *shards > 1 {
-			sx, err := flat.BuildSharded(cp, &flat.ShardedOptions{Shards: *shards, Dir: *index, PageFormat: format})
+			if *wal && *index == "" {
+				fatalf("-wal requires a disk-backed index (-index)")
+			}
+			sx, err := flat.BuildSharded(cp, &flat.ShardedOptions{Shards: *shards, Dir: *index, PageFormat: format, WAL: *wal})
 			if err != nil {
 				fatalf("build sharded: %v", err)
 			}
 			ix = sx
 		} else {
+			if *wal {
+				fatalf("-wal requires a sharded index (use -shards > 1)")
+			}
 			plain, err := flat.Build(cp, &flat.Options{Path: *index, PageFormat: format})
 			if err != nil {
 				fatalf("build: %v", err)
@@ -225,6 +249,17 @@ func main() {
 				fatalf("stage insert: %v", err)
 			}
 			fmt.Printf("staged %d inserts from %s\n", len(add), *insert)
+		}
+		// Make the staged updates durable before exit: with a write-ahead
+		// log a flush is all it takes (the next invocation replays them);
+		// -rebuild below folds them into the bulkloaded pages for good.
+		if *insert != "" || *del != "" {
+			if st, err := sx.DeltaStats(); err == nil && st.WALBytes > 0 {
+				if err := sx.Flush(); err != nil {
+					fatalf("flush wal: %v", err)
+				}
+				fmt.Printf("flushed write-ahead log (%d bytes): staged updates survive until the next rebuild\n", st.WALBytes)
+			}
 		}
 		if *rebuild {
 			dirty, err := sx.DirtyShards()
@@ -321,15 +356,16 @@ func main() {
 	}
 }
 
-// openExisting is flat.OpenAny with the -mmap knob: the on-disk shape
-// decides sharded vs plain, the flag decides the pager behind it.
-func openExisting(path string, mmap bool) (flat.QueryIndex, error) {
+// openExisting is flat.OpenAny with the -mmap and -wal knobs: the
+// on-disk shape decides sharded vs plain, the flags decide the pager
+// and the write-ahead log behind it.
+func openExisting(path string, mmap, wal bool) (flat.QueryIndex, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return nil, err
 	}
 	if fi.IsDir() {
-		return flat.OpenShardedWithOptions(path, &flat.ShardedOptions{Mmap: mmap})
+		return flat.OpenShardedWithOptions(path, &flat.ShardedOptions{Mmap: mmap, WAL: wal})
 	}
 	return flat.OpenWithOptions(path, &flat.Options{Mmap: mmap})
 }

@@ -1,0 +1,208 @@
+package flat
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// waitCompacted polls until the staged delta drains to zero (the
+// background compactor has folded it in) or the deadline passes.
+// Pending returns ErrBusy while the compactor's Rebuild holds the
+// guard; that just means "in progress", so keep polling through it.
+func waitCompacted(t *testing.T, sx *ShardedIndex) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ins, dels, err := sx.Pending()
+		if err == nil && ins == 0 && dels == 0 {
+			return
+		}
+		if err != nil && !errors.Is(err, ErrBusy) {
+			t.Fatalf("Pending: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("staged delta never drained: background compaction did not run")
+}
+
+// TestAutoCompactMaxDelta drives the count trigger: staging past
+// MaxDelta must fold the delta in without any manual Rebuild, and the
+// folded state must serve queries and survive reopen.
+func TestAutoCompactMaxDelta(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	els := randomElements(r, 1200)
+	dir := filepath.Join(t.TempDir(), "autocompact")
+	sx, err := BuildSharded(els, &ShardedOptions{
+		Shards: 4, PageCapacity: 16, Dir: dir,
+		WAL:         true,
+		AutoCompact: AutoCompact{MaxDelta: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spot := CubeAt(V(30, 30, 30), 2)
+	const fresh = 40
+	for i := 0; i < fresh; i++ {
+		if err := sx.StageInsert(Element{ID: 800000 + uint64(i), Box: spot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCompacted(t, sx)
+
+	n, _, err := sx.CountQuery(spot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < fresh {
+		t.Fatalf("after auto-compaction CountQuery = %d, want >= %d", n, fresh)
+	}
+	if got := sx.Len(); got != len(els)+fresh {
+		t.Fatalf("Len = %d, want %d (delta folded into base)", got, len(els)+fresh)
+	}
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != len(els)+fresh {
+		t.Fatalf("reopened Len = %d, want %d", got, len(els)+fresh)
+	}
+	ins, dels, err := re.Pending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins != 0 || dels != 0 {
+		t.Fatalf("reopened Pending = (%d, %d), want (0, 0)", ins, dels)
+	}
+}
+
+// TestAutoCompactDirtyRatio drives the per-shard ratio trigger on a
+// memory-backed index (the compactor is independent of the WAL).
+func TestAutoCompactDirtyRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	els := randomElements(r, 2000)
+	sx, err := BuildSharded(els, &ShardedOptions{
+		Shards: 4, PageCapacity: 16,
+		AutoCompact: AutoCompact{DirtyRatio: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+
+	// ~100 inserts into one spot dirty a single shard well past 5% of
+	// its ~500-element base.
+	spot := CubeAt(V(10, 10, 10), 1)
+	for i := 0; i < 100; i++ {
+		if err := sx.StageInsert(Element{ID: 900000 + uint64(i), Box: spot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCompacted(t, sx)
+	if got := sx.Len(); got != len(els)+100 {
+		t.Fatalf("Len = %d, want %d", got, len(els)+100)
+	}
+}
+
+// TestFlushAndDeltaStats exercises the two new ShardedIndex accessors:
+// DeltaStats must size the delta and the log, Flush must succeed, and
+// a Rebuild must zero the delta and shrink the rotated log.
+func TestFlushAndDeltaStats(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	els := randomElements(r, 600)
+	dir := filepath.Join(t.TempDir(), "deltastats")
+	sx, err := BuildSharded(els, &ShardedOptions{
+		Shards: 2, PageCapacity: 16, Dir: dir, WAL: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+
+	fresh := make([]Element, 12)
+	for i := range fresh {
+		fresh[i] = Element{ID: 700000 + uint64(i), Box: CubeAt(V(60, 60, 60), 2)}
+	}
+	if err := sx.StageInsert(fresh...); err != nil {
+		t.Fatal(err)
+	}
+	if err := sx.StageDelete(els[0].ID, els[0].Box); err != nil {
+		t.Fatal(err)
+	}
+	if err := sx.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := sx.DeltaStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts != len(fresh) || st.Deletes != 1 {
+		t.Fatalf("DeltaStats = %+v, want %d inserts / 1 delete", st, len(fresh))
+	}
+	if st.WALBytes == 0 {
+		t.Fatal("DeltaStats.WALBytes = 0, want the staged records on disk")
+	}
+	if len(st.Shards) == 0 {
+		t.Fatal("DeltaStats.Shards empty, want the dirty shard listed")
+	}
+	staged := 0
+	for _, sh := range st.Shards {
+		if sh.Base <= 0 {
+			t.Fatalf("shard %d Base = %d, want > 0", sh.Shard, sh.Base)
+		}
+		staged += sh.Staged
+	}
+	if staged != len(fresh) {
+		t.Fatalf("sum of per-shard Staged = %d, want %d", staged, len(fresh))
+	}
+
+	if _, err := sx.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sx.DeltaStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Inserts != 0 || after.Deletes != 0 || len(after.Shards) != 0 {
+		t.Fatalf("post-Rebuild DeltaStats = %+v, want empty delta", after)
+	}
+	if after.WALBytes >= st.WALBytes {
+		t.Fatalf("post-Rebuild WALBytes = %d, want < %d (log rotated)", after.WALBytes, st.WALBytes)
+	}
+}
+
+// TestAutoCompactCloseRace closes the index while the compactor may be
+// mid-Rebuild: Close must stop it cleanly (no deadlock, no double
+// fold), whatever state the race lands in.
+func TestAutoCompactCloseRace(t *testing.T) {
+	r := rand.New(rand.NewSource(74))
+	for round := 0; round < 5; round++ {
+		els := randomElements(r, 400)
+		sx, err := BuildSharded(els, &ShardedOptions{
+			Shards: 2, PageCapacity: 16,
+			AutoCompact: AutoCompact{MaxDelta: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := sx.StageInsert(Element{ID: uint64(999000 + i), Box: CubeAt(V(5, 5, 5), 1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Close stops the compactor before tearing the guard down, so it
+		// must succeed first try even with a Rebuild in flight.
+		if err := sx.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func All() []*analysis.Analyzer {
 		LockedField,
 		PageIDPack,
 		StatsOnErr,
+		WalSync,
 	}
 }
 

@@ -32,3 +32,7 @@ func TestCodecBounds(t *testing.T) {
 func TestGuardPair(t *testing.T) {
 	analysistest.Run(t, "testdata", analyzers.GuardPair, "guardpair")
 }
+
+func TestWalSync(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.WalSync, "walsync")
+}

@@ -1,0 +1,90 @@
+// Fixtures for the walsync analyzer: an atomic-rename commit must fsync
+// the file it renames into place.
+package walsync
+
+import "os"
+
+// commitWithSync is the correct shape: write, sync, rename.
+func commitWithSync(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// commitWithoutSync renames a file nothing synced: the commit can
+// become durable before its contents.
+func commitWithoutSync(tmp, final string) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return os.Rename(tmp, final) // want `os.Rename without a preceding Sync call`
+}
+
+// syncDir is a helper whose name marks it as a sync; calling it
+// satisfies the check too.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func commitViaHelper(tmp, final string) error {
+	if err := syncDir("."); err != nil {
+		return err
+	}
+	return os.Rename(tmp, final)
+}
+
+// closureScope: the sync in the outer scope does not cover a rename
+// inside a function literal — closures commit on their own.
+func closureScope(tmp, final string) func() error {
+	f, _ := os.Create(tmp)
+	f.Sync()
+	f.Close()
+	return func() error {
+		return os.Rename(tmp, final) // want `os.Rename without a preceding Sync call`
+	}
+}
+
+// syncAfterRename is still wrong: the ordering is the point.
+func syncAfterRename(tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil { // want `os.Rename without a preceding Sync call`
+		return err
+	}
+	f, err := os.Open(final)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// suppressed documents why this rename is not a commit point.
+func suppressed(a, b string) error {
+	//lint:ignore walsync fixture: shuffling scratch files, not committing state
+	return os.Rename(a, b)
+}
+
+// notOsRename: a Rename on something other than package os is not a
+// commit; the package is resolved through the type info.
+type mover struct{}
+
+func (mover) Rename(a, b string) error { return nil }
+
+func notOsRename(m mover, a, b string) error {
+	return m.Rename(a, b)
+}

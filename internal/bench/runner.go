@@ -361,4 +361,5 @@ var registry = map[string]func(*Runner) ([]*Table, error){
 	"shards":      (*Runner).shardsExperiment,
 	"streammerge": (*Runner).streamMerge,
 	"pagecodec":   (*Runner).pagecodec,
+	"staging":     (*Runner).staging,
 }

@@ -79,6 +79,14 @@ type manifest struct {
 	SeedFanout   int `json:"seed_fanout,omitempty"`
 	// Entries is the per-shard directory (v2; absent in v1 manifests).
 	Entries []shardEntry `json:"entries,omitempty"`
+	// WAL names the write-ahead log file of the staged-update write path
+	// (within the index directory; empty for indexes without one). The
+	// referenced file is created and synced before the manifest commits
+	// it, and rebuilds rotate to a fresh generation-suffixed log at the
+	// same commit point that folds the staged updates in, so the log an
+	// opened manifest references never holds operations the shard files
+	// already contain.
+	WAL string `json:"wal,omitempty"`
 }
 
 // manifestFormat converts an index's page format to its manifest
@@ -121,6 +129,21 @@ func shardFile(dir string, s int) string {
 // else a user may keep in the directory. %04d widens past four digits
 // (MaxShards is 65536), hence \d{4,}.
 var shardFilePattern = regexp.MustCompile(`^shard-\d{4,}(\.gen-\d+)?\.flat$`)
+
+// walFileName returns the write-ahead log's file name at generation
+// gen; like shard files, rebuilds rotate to a fresh suffixed name so
+// the swap from old log to new is the manifest rename, never an
+// in-place truncation a crash could tear.
+func walFileName(gen uint64) string {
+	if gen == 0 {
+		return "wal.log"
+	}
+	return fmt.Sprintf("wal.gen-%d.log", gen)
+}
+
+// walFilePattern recognizes WAL files of any generation for the GC
+// pass, mirroring shardFilePattern.
+var walFilePattern = regexp.MustCompile(`^wal(\.gen-\d+)?\.log$`)
 
 // writeManifest atomically replaces dir's manifest: the JSON is staged
 // in a temp file in the same directory, fsynced, and renamed over
@@ -214,6 +237,9 @@ func readManifest(dir string) (manifest, error) {
 				return manifest{}, fmt.Errorf("shard: manifest entry %d has unknown page format %d", s, e.PageFormat)
 			}
 		}
+		if m.WAL != "" && m.WAL != filepath.Base(m.WAL) {
+			return manifest{}, fmt.Errorf("shard: manifest has invalid wal file name %q", m.WAL)
+		}
 	default:
 		return manifest{}, fmt.Errorf("shard: unsupported manifest version %d", m.Version)
 	}
@@ -279,7 +305,8 @@ func gcStale(dir string, keep map[string]bool) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if name == manifestTempName || (shardFilePattern.MatchString(name) && !keep[name]) {
+		stale := shardFilePattern.MatchString(name) || walFilePattern.MatchString(name)
+		if name == manifestTempName || (stale && !keep[name]) {
 			os.Remove(filepath.Join(dir, name))
 		}
 	}

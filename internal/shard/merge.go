@@ -56,7 +56,10 @@ type StreamOptions struct {
 // page-read statistics) is identical to the sequential Query. The
 // zero StreamOptions is exactly Query.
 func (s *Set) StreamQuery(ctx context.Context, q geom.MBR, opts StreamOptions, emit func(geom.Element) bool) (core.QueryStats, error) {
-	ins, dels := s.overlayFor(q)
+	ins, dels, err := s.overlayFor(q)
+	if err != nil {
+		return core.QueryStats{}, err
+	}
 	sel := s.Prune(q)
 	if opts.Prefetch > 0 && len(sel) > 0 {
 		return s.queryMerge(ctx, q, sel, ins, dels, opts, emit)
@@ -82,7 +85,7 @@ type shardStream struct {
 // the window it abandoned). The deferred group teardown makes every
 // exit path uniform: cancel whatever is still crawling, wait for every
 // launched crawl, and fold its reads into the merged stats.
-func (s *Set) queryMerge(ctx context.Context, q geom.MBR, sel []int, ins []geom.Element, dels []pendingDelete, opts StreamOptions, emit func(geom.Element) bool) (merged core.QueryStats, err error) {
+func (s *Set) queryMerge(ctx context.Context, q geom.MBR, sel []int, ins []geom.Element, dels deleteView, opts StreamOptions, emit func(geom.Element) bool) (merged core.QueryStats, err error) {
 	prefetch := opts.Prefetch
 	if prefetch > len(sel) {
 		prefetch = len(sel)
@@ -141,7 +144,7 @@ func (s *Set) queryMerge(ctx context.Context, q geom.MBR, sel []int, ins []geom.
 	for drain := 0; drain < launched; drain++ {
 		st := streams[drain]
 		for e := range st.ch {
-			if matchesDelete(dels, e) {
+			if dels.matches(e) {
 				continue
 			}
 			emitted++

@@ -265,8 +265,8 @@ func TestStagedInsertOrderAcrossShards(t *testing.T) {
 	// otherwise this test cannot catch the bug.
 	set.pmu.RLock()
 	groups := 0
-	for _, g := range set.staged {
-		if len(g) > 0 {
+	for _, d := range set.delta {
+		if d != nil && len(d.slab) > 0 {
 			groups++
 		}
 	}

@@ -104,15 +104,103 @@ func (s *Set) StageInsert(els ...geom.Element) error {
 	}
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
-	if s.staged == nil {
-		s.staged = make([][]stagedInsert, len(s.shards))
+	// WAL first: the operations are logged (with the seqs they are about
+	// to be staged under) before any of them mutates memory, so a crash
+	// can never leave memory ahead of the log.
+	if s.wal != nil {
+		recs := make([]storage.WALRecord, len(els))
+		for i, e := range els {
+			recs[i] = storage.WALRecord{Op: storage.WALInsert, Seq: s.clock + 1 + uint64(i), ID: e.ID, Box: e.Box}
+		}
+		if err := s.walAppendLocked(recs); err != nil {
+			return err
+		}
+	}
+	if s.delta == nil {
+		s.delta = make([]*shardDelta, len(s.shards))
 	}
 	for _, e := range els {
 		s.clock++
 		t := s.routeShard(e.Box)
-		s.staged[t] = append(s.staged[t], stagedInsert{el: e, seq: s.clock})
+		if s.delta[t] == nil {
+			s.delta[t] = newShardDelta(s.linearOverlay)
+		}
+		if err := s.delta[t].add(stagedInsert{el: e, seq: s.clock}); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// walAppendLocked logs recs, syncing immediately when the set was
+// configured with per-op durability (otherwise durability waits for
+// Flush). Callers hold pmu's write side and must mutate the staged
+// state only after a nil return: a failed append logged nothing
+// (storage.WAL.Append is all-or-nothing), so memory and log stay in
+// step. A failed *sync* leaves the records logged but unacknowledged —
+// the caller reports the error, and a later replay may restage them,
+// which is the at-least-once side every write-ahead log has on its
+// error paths.
+// flatlint:holds pmu
+func (s *Set) walAppendLocked(recs []storage.WALRecord) error {
+	if err := s.wal.Append(recs...); err != nil {
+		return err
+	}
+	if s.walSyncEveryOp {
+		return s.wal.Sync()
+	}
+	return nil
+}
+
+// replayWAL restores a staging epoch from its logged operations: each
+// record re-stages exactly what the original call staged, seq
+// included, so last-op-wins interleaving survives a crash or close.
+// Inserts are routed through the same MBR directory the original
+// staging used; the directory's bounds change only at Rebuild, and
+// Rebuild rotates the log, so every replayed operation postdates the
+// bounds it is routed against.
+func (s *Set) replayWAL(recs []storage.WALRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	for _, r := range recs {
+		if r.Seq > s.clock {
+			s.clock = r.Seq
+		}
+		switch r.Op {
+		case storage.WALInsert:
+			if s.delta == nil {
+				s.delta = make([]*shardDelta, len(s.shards))
+			}
+			t := s.routeShard(r.Box)
+			if s.delta[t] == nil {
+				s.delta[t] = newShardDelta(s.linearOverlay)
+			}
+			if err := s.delta[t].add(stagedInsert{el: geom.Element{ID: r.ID, Box: r.Box}, seq: r.Seq}); err != nil {
+				return err
+			}
+		case storage.WALDelete:
+			s.deletes = append(s.deletes, pendingDelete{ID: r.ID, Box: r.Box, seq: r.Seq})
+		}
+	}
+	return nil
+}
+
+// Flush makes every staged operation durable: it fsyncs the
+// write-ahead log, so operations staged before a successful Flush
+// survive any crash. This is the write path's acknowledgement point —
+// between Flush calls, a crash may lose the operations staged since
+// the last one (unless the set syncs per op). Without a WAL there is
+// nothing to make durable and Flush is a no-op.
+func (s *Set) Flush() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
 }
 
 // StageDelete stages the removal of the element with the given ID and
@@ -129,6 +217,12 @@ func (s *Set) StageInsert(els ...geom.Element) error {
 func (s *Set) StageDelete(id uint64, box geom.MBR) error {
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
+	if s.wal != nil {
+		rec := storage.WALRecord{Op: storage.WALDelete, Seq: s.clock + 1, ID: id, Box: box}
+		if err := s.walAppendLocked([]storage.WALRecord{rec}); err != nil {
+			return err
+		}
+	}
 	s.clock++
 	s.deletes = append(s.deletes, pendingDelete{ID: id, Box: box, seq: s.clock})
 	return nil
@@ -139,10 +233,50 @@ func (s *Set) StageDelete(id uint64, box geom.MBR) error {
 func (s *Set) Pending() (inserts, deletes int) {
 	s.pmu.RLock()
 	defer s.pmu.RUnlock()
-	for _, g := range s.staged {
-		inserts += len(g)
+	for _, d := range s.delta {
+		if d != nil {
+			inserts += len(d.slab)
+		}
 	}
 	return inserts, len(s.deletes)
+}
+
+// ShardDeltaStats describes one shard's share of the pending delta.
+type ShardDeltaStats struct {
+	Shard  int // shard number
+	Base   int // bulkloaded elements currently in the shard
+	Staged int // staged inserts routed to it
+}
+
+// DeltaStats is a point-in-time snapshot of the staged-update state:
+// how much delta is pending, how it is distributed over the shards,
+// and how large the write-ahead log backing it has grown. The
+// background compactor's triggers read it; so can callers deciding
+// when to Rebuild by hand.
+type DeltaStats struct {
+	Inserts  int               // staged inserts pending, across all shards
+	Deletes  int               // staged deletes pending
+	WALBytes int64             // current write-ahead log size (0 without a WAL)
+	Shards   []ShardDeltaStats // per-shard breakdown; only shards with staged inserts
+}
+
+// DeltaStats snapshots the pending delta. Safe to call concurrently
+// with queries and staging.
+func (s *Set) DeltaStats() DeltaStats {
+	s.pmu.RLock()
+	defer s.pmu.RUnlock()
+	ds := DeltaStats{Deletes: len(s.deletes)}
+	if s.wal != nil {
+		ds.WALBytes = s.wal.Size()
+	}
+	for i, d := range s.delta {
+		if d == nil || len(d.slab) == 0 {
+			continue
+		}
+		ds.Inserts += len(d.slab)
+		ds.Shards = append(ds.Shards, ShardDeltaStats{Shard: i, Base: s.shards[i].Len(), Staged: len(d.slab)})
+	}
+	return ds
 }
 
 // DirtyShards returns the shards the staged updates may touch — the
@@ -162,7 +296,7 @@ func (s *Set) DirtyShards() []int {
 func (s *Set) dirtyLocked() []int {
 	var dirty []int
 	for i := range s.shards {
-		if s.staged != nil && len(s.staged[i]) > 0 {
+		if s.delta != nil && s.delta[i] != nil && len(s.delta[i].slab) > 0 {
 			dirty = append(dirty, i)
 			continue
 		}
@@ -194,47 +328,55 @@ func (s *Set) routeShard(b geom.MBR) int {
 
 // overlayFor snapshots the staged updates relevant to query q: the
 // staged inserts intersecting it (already filtered by the deletes
-// staged after them) and the staged deletes that could doom one of its
-// bulkloaded results. The snapshot is taken under pmu so queries never
-// observe a staging call halfway through; the common no-updates case
-// allocates nothing.
-func (s *Set) overlayFor(q geom.MBR) (ins []geom.Element, dels []pendingDelete) {
+// staged after them) and a view of the staged deletes that could doom
+// one of its bulkloaded results. The snapshot is taken under pmu so
+// queries never observe a staging call halfway through; the common
+// no-updates case allocates nothing. Candidate inserts come from each
+// dirty shard's delta R-tree (a range probe, not a sweep of everything
+// pending — see delta.go), unless the set was built with
+// Config.LinearOverlay.
+func (s *Set) overlayFor(q geom.MBR) (ins []geom.Element, dels deleteView, err error) {
 	s.pmu.RLock()
 	defer s.pmu.RUnlock()
-	// All pending deletes are snapshotted, not just those intersecting q:
-	// delete matching is by containment in the *stored* box (see
-	// deleteMatches), and on a quantized v2 shard the stored box can
-	// intersect q while the delete's requested box grazes just outside it.
-	// Delete lists are short between rebuilds, so the unconditional copy
-	// costs little.
-	dels = append(dels, s.deletes...)
+	// The delete view carries every pending delete, not just those
+	// intersecting q: delete matching is by containment in the *stored*
+	// box (see deleteMatches), and on a quantized v2 shard the stored box
+	// can intersect q while the delete's requested box grazes just
+	// outside it.
+	dels = s.deleteViewLocked()
 	var pending []stagedInsert
-	for _, g := range s.staged {
-		for _, si := range g {
-			if si.el.Box.Intersects(q) && !matchesDeleteAfter(dels, si.el, si.seq) {
+	for _, d := range s.delta {
+		if d == nil {
+			continue
+		}
+		perr := d.forEachCandidate(q, func(si stagedInsert) {
+			if si.el.Box.Intersects(q) && !dels.matchesAfter(si.el, si.seq) {
 				pending = append(pending, si)
 			}
+		})
+		if perr != nil {
+			return nil, deleteView{}, perr
 		}
 	}
 	// The contract is "staged inserts are appended in staging order" —
-	// not in shard order. The per-shard lists are each seq-ascending,
-	// so sorting the filtered union by seq restores the global staging
-	// interleave for inserts routed to different shards.
+	// not in shard or probe order. Seqs are unique, so sorting the
+	// filtered union by seq restores the global staging interleave for
+	// inserts routed to different shards.
 	sort.Slice(pending, func(a, b int) bool { return pending[a].seq < pending[b].seq })
 	for _, si := range pending {
 		ins = append(ins, si.el)
 	}
-	return ins, dels
+	return ins, dels, nil
 }
 
 // applyOverlay folds an overlay snapshot into a bulkloaded result set:
 // deleted elements are filtered out (in place — out is query-owned),
 // staged inserts are appended in staging order.
-func applyOverlay(out []geom.Element, ins []geom.Element, dels []pendingDelete) []geom.Element {
-	if len(dels) > 0 {
+func applyOverlay(out []geom.Element, ins []geom.Element, dels deleteView) []geom.Element {
+	if !dels.empty() {
 		kept := out[:0]
 		for _, e := range out {
-			if !matchesDelete(dels, e) {
+			if !dels.matches(e) {
 				kept = append(kept, e)
 			}
 		}
@@ -303,7 +445,7 @@ func (s *Set) Rebuild() ([]int, error) {
 		// A delete-only dirty shard whose deletes matched nothing is
 		// unchanged (deletes only remove, so an unchanged length means an
 		// unchanged set); skip the pointless rewrite and keep its cache.
-		if (s.staged == nil || len(s.staged[sh]) == 0) && len(els) == s.shards[sh].Len() {
+		if (s.delta == nil || s.delta[sh] == nil || len(s.delta[sh].slab) == 0) && len(els) == s.shards[sh].Len() {
 			continue
 		}
 		if len(els) == 0 {
@@ -358,10 +500,18 @@ func (s *Set) Rebuild() ([]int, error) {
 	}
 
 	// All dirty shards may have been no-op deletes; the staged epoch is
-	// consumed either way.
+	// consumed either way. This path never touches the manifest, so the
+	// WAL is emptied in place rather than rotated: the truncation is
+	// crash-safe here precisely because every logged operation is a
+	// provable no-op — replaying them (truncate lost) or not (truncate
+	// won) yields the same index.
 	if len(built) == 0 {
-		s.staged = nil
-		s.deletes = nil
+		if s.wal != nil {
+			if err := s.wal.Reset(); err != nil {
+				return nil, err
+			}
+		}
+		s.clearStagedLocked()
 		return nil, nil
 	}
 
@@ -401,12 +551,44 @@ func (s *Set) Rebuild() ([]int, error) {
 				PageFormat: manifestFormat(b.ix.PageFormat()),
 			}
 		}
+		// The manifest swap is also the WAL's truncation point: the swap
+		// folds the staged updates into the shard files, so the log that
+		// held them is spent. Truncating it in place would race a crash
+		// (crash after swap, before truncate → replay re-stages operations
+		// the shards already contain), so instead a fresh
+		// generation-suffixed log is created — durable first — and the
+		// manifest swap atomically retargets the directory at it.
+		var newWAL *storage.WAL
+		if s.wal != nil {
+			w, err := storage.CreateWAL(filepath.Join(s.dir, walFileName(gen)))
+			if err != nil {
+				return fail(err)
+			}
+			if err := w.Sync(); err != nil {
+				w.Close()
+				os.Remove(w.Path())
+				return fail(err)
+			}
+			newWAL = w
+			m.WAL = walFileName(gen)
+		}
 		switch err := writeManifest(s.dir, m); {
 		case err == nil:
 		case errors.Is(err, errManifestNotDurable):
 			skipGC = true
 		default:
+			if newWAL != nil {
+				newWAL.Close()
+				os.Remove(newWAL.Path())
+			}
 			return fail(err)
+		}
+		if newWAL != nil {
+			// The manifest now references the new log; the old one is
+			// garbage (collected below unless skipGC keeps it for a crash
+			// that loses the un-synced rename).
+			s.wal.Close()
+			s.wal = newWAL
 		}
 	}
 
@@ -444,20 +626,34 @@ func (s *Set) Rebuild() ([]int, error) {
 	// Phase 4 (disk): the old generations are garbage now that the
 	// manifest no longer references them.
 	if s.dir != "" && !skipGC {
-		keep := make(map[string]bool, len(s.shards))
+		keep := make(map[string]bool, len(s.shards)+1)
 		for i := range s.shards {
 			keep[shardFileName(i, s.gens[i])] = true
+		}
+		if s.wal != nil {
+			keep[filepath.Base(s.wal.Path())] = true
 		}
 		gcStale(s.dir, keep)
 	}
 
-	s.staged = nil
-	s.deletes = nil
+	s.clearStagedLocked()
 	out := make([]int, 0, len(built))
 	for _, b := range built {
 		out = append(out, b.shard)
 	}
 	return out, nil
+}
+
+// clearStagedLocked drops a consumed staging epoch: the per-shard
+// deltas (their trees die with them), the delete list, and the cached
+// delete index — the latter must not survive, or a later epoch whose
+// delete list happens to reach the same length would be served the
+// stale map. Callers hold pmu's write side.
+// flatlint:holds pmu
+func (s *Set) clearStagedLocked() {
+	s.delta = nil
+	s.deletes = nil
+	s.delIdx.Store(nil)
 }
 
 // mergedElements materializes dirty shard sh's post-rebuild element
@@ -478,8 +674,8 @@ func (s *Set) mergedElements(sh int) ([]geom.Element, error) {
 			kept = append(kept, e)
 		}
 	}
-	if s.staged != nil {
-		for _, si := range s.staged[sh] {
+	if s.delta != nil && s.delta[sh] != nil {
+		for _, si := range s.delta[sh].slab {
 			if !matchesDeleteAfter(s.deletes, si.el, si.seq) {
 				kept = append(kept, si.el)
 			}

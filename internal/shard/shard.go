@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"flat/internal/core"
 	"flat/internal/geom"
@@ -74,6 +75,23 @@ type Config struct {
 	// BuildWorkers bounds the number of shards bulkloaded concurrently
 	// (<= 0: GOMAXPROCS).
 	BuildWorkers int
+	// LinearOverlay disables the staged-update delta indexes: query
+	// overlays fall back to the pre-delta linear scans over the staged
+	// inserts and deletes. Results are identical either way; this is the
+	// measurement baseline of the staging benchmark, not a knob real
+	// callers should set.
+	LinearOverlay bool
+	// WAL enables the write-ahead log of the staged-update write path
+	// (requires Dir): every StageInsert/StageDelete is appended to a log
+	// in the index directory before it mutates memory, and reopening the
+	// directory replays the log, so staged operations survive a crash.
+	// Durability is acknowledged by Flush (or per-op with WALSyncEveryOp);
+	// Rebuild rotates the log at its manifest commit point.
+	WAL bool
+	// WALSyncEveryOp fsyncs the write-ahead log on every staging call
+	// instead of only at Flush: every acknowledged operation is
+	// individually crash-durable, at one fsync per call.
+	WALSyncEveryOp bool
 }
 
 // Set is a built sharded FLAT index: K per-shard core indexes, the MBR
@@ -106,9 +124,24 @@ type Set struct {
 	// state above) must not run concurrently with queries at all — the
 	// public layer enforces that with its ErrBusy query guard.
 	pmu     sync.RWMutex
-	staged  [][]stagedInsert // per shard: inserts awaiting rebuild; guarded by pmu
-	deletes []pendingDelete  // guarded by pmu
-	clock   uint64           // staging-order stamp for last-op-wins semantics; guarded by pmu
+	delta   []*shardDelta   // per shard: staged inserts + their delta R-tree; guarded by pmu
+	deletes []pendingDelete // guarded by pmu
+	clock   uint64          // staging-order stamp for last-op-wins semantics; guarded by pmu
+
+	// delIdx caches the by-ID index over deletes (see deleteViewLocked);
+	// atomically published immutable snapshots, no guard needed.
+	delIdx atomic.Pointer[deleteIndex]
+	// linearOverlay mirrors Config.LinearOverlay; set at construction,
+	// immutable afterwards.
+	linearOverlay bool
+
+	// wal is the write-ahead log behind the staged updates (nil when
+	// disabled). Staging appends to it before mutating the fields above,
+	// Rebuild rotates it at the manifest swap, Flush syncs it. Accessed
+	// under pmu everywhere past construction. walSyncEveryOp mirrors its
+	// Config knob; immutable.
+	wal            *storage.WAL
+	walSyncEveryOp bool
 }
 
 // SplitHilbert reorders els in place along the 3D Hilbert curve of their
@@ -167,6 +200,9 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 	}
 	if k > storage.MaxShards {
 		return nil, fmt.Errorf("shard: %d shards exceed the %d-shard id space", k, storage.MaxShards)
+	}
+	if cfg.WAL && cfg.Dir == "" {
+		return nil, errors.New("shard: the write-ahead log requires an on-disk index (Config.Dir)")
 	}
 	bounds := geom.ElementsMBR(els)
 	world := cfg.World
@@ -253,6 +289,7 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 		closeAll()
 		return nil, err
 	}
+	var wal *storage.WAL
 	if cfg.Dir != "" {
 		m := manifest{
 			World:        mbrToArray(world),
@@ -269,6 +306,23 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 				PageFormat: manifestFormat(ix.PageFormat()),
 			}
 		}
+		// The WAL, like the shard files, must be durable before the
+		// manifest references it.
+		if cfg.WAL {
+			w, err := storage.CreateWAL(filepath.Join(cfg.Dir, walFileName(gen)))
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			if err := w.Sync(); err != nil {
+				w.Close()
+				os.Remove(w.Path())
+				closeAll()
+				return nil, err
+			}
+			wal = w
+			m.WAL = walFileName(gen)
+		}
 		// The manifest swap is the commit point; once it lands, any file
 		// it does not reference — old generations, stale shards of a
 		// previous (larger) K, strands of a crashed build — is garbage.
@@ -277,13 +331,20 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 		// un-synced rename still finds the old generation's files.
 		switch err := writeManifest(cfg.Dir, m); {
 		case err == nil:
-			keep := make(map[string]bool, k)
+			keep := make(map[string]bool, k+1)
 			for _, e := range m.Entries {
 				keep[e.File] = true
+			}
+			if m.WAL != "" {
+				keep[m.WAL] = true
 			}
 			gcStale(cfg.Dir, keep)
 		case errors.Is(err, errManifestNotDurable):
 		default:
+			if wal != nil {
+				wal.Close()
+				os.Remove(wal.Path())
+			}
 			closeAll()
 			return nil, err
 		}
@@ -293,14 +354,17 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 	// per-shard build pools are discarded, so the set starts cold.
 	pool := storage.NewConcurrentPool(multi, cfg.BufferPages)
 	s := &Set{
-		shards:       make([]*core.Index, k),
-		bounds:       make([]geom.MBR, k),
-		world:        world,
-		pool:         pool,
-		multi:        multi,
-		dir:          cfg.Dir,
-		pageCapacity: cfg.PageCapacity,
-		seedFanout:   cfg.SeedFanout,
+		shards:         make([]*core.Index, k),
+		bounds:         make([]geom.MBR, k),
+		world:          world,
+		pool:           pool,
+		multi:          multi,
+		dir:            cfg.Dir,
+		pageCapacity:   cfg.PageCapacity,
+		seedFanout:     cfg.SeedFanout,
+		linearOverlay:  cfg.LinearOverlay,
+		wal:            wal,
+		walSyncEveryOp: cfg.WALSyncEveryOp,
 	}
 	if cfg.Dir != "" {
 		s.gens = make([]uint64, k)
@@ -316,27 +380,49 @@ func Build(els []geom.Element, cfg Config) (*Set, error) {
 	return s, nil
 }
 
+// OpenOptions configures OpenSet.
+type OpenOptions struct {
+	// BufferPages bounds the shared page cache as in Config.
+	BufferPages int
+	// Mmap memory-maps every shard's page file (storage.OpenMmapPager)
+	// instead of reading through file descriptors: cached frames alias
+	// the mapping, so cache misses copy nothing. The set remains fully
+	// functional — staging and Rebuild write each new shard generation
+	// through an ordinary file pager and swap it in, and the rebuilt
+	// shard's aliased frames are dropped before its old mapping is
+	// unmapped.
+	Mmap bool
+	// WAL enables the write-ahead log on a directory that does not have
+	// one yet (see Config.WAL): a fresh log is created and the manifest
+	// rewritten to reference it. A directory whose manifest already
+	// references a log always opens and replays it, with or without this
+	// knob — durability, once enabled, is never silently dropped.
+	WAL bool
+	// WALSyncEveryOp: see Config.WALSyncEveryOp.
+	WALSyncEveryOp bool
+	// LinearOverlay: see Config.LinearOverlay.
+	LinearOverlay bool
+}
+
 // Open loads a sharded index previously built with a Config.Dir from
 // its directory, resolving each shard's page file through the manifest
 // (which names the committed generation; files a crashed rebuild may
 // have stranded are ignored). bufferPages bounds the shared page cache
 // as in Config.
 func Open(dir string, bufferPages int) (*Set, error) {
-	return open(dir, bufferPages, false)
+	return OpenSet(dir, OpenOptions{BufferPages: bufferPages})
 }
 
-// OpenMmap is Open with every shard's page file memory-mapped
-// (storage.OpenMmapPager) instead of read through file descriptors:
-// cached frames alias the mapping, so cache misses copy nothing. The
-// set remains fully functional — staging and Rebuild write each new
-// shard generation through an ordinary file pager and swap it in, and
-// the rebuilt shard's aliased frames are dropped before its old mapping
-// is unmapped.
+// OpenMmap is Open with OpenOptions.Mmap set.
 func OpenMmap(dir string, bufferPages int) (*Set, error) {
-	return open(dir, bufferPages, true)
+	return OpenSet(dir, OpenOptions{BufferPages: bufferPages, Mmap: true})
 }
 
-func open(dir string, bufferPages int, mmap bool) (*Set, error) {
+// OpenSet is Open with the full option set. If the manifest references
+// a write-ahead log, the log is replayed: operations staged before the
+// last crash or close reappear as staged updates, exactly as the
+// original calls left them.
+func OpenSet(dir string, opts OpenOptions) (*Set, error) {
 	m, err := readManifest(dir)
 	if err != nil {
 		return nil, err
@@ -353,7 +439,7 @@ func open(dir string, bufferPages int, mmap bool) (*Set, error) {
 	for s, e := range m.Entries {
 		var fp storage.Pager
 		var err error
-		if mmap {
+		if opts.Mmap {
 			fp, err = storage.OpenMmapPager(filepath.Join(dir, e.File))
 		} else {
 			fp, err = storage.OpenFilePager(filepath.Join(dir, e.File))
@@ -369,17 +455,19 @@ func open(dir string, bufferPages int, mmap bool) (*Set, error) {
 		closeAll()
 		return nil, err
 	}
-	pool := storage.NewConcurrentPool(multi, bufferPages)
+	pool := storage.NewConcurrentPool(multi, opts.BufferPages)
 	set := &Set{
-		shards:       make([]*core.Index, k),
-		bounds:       make([]geom.MBR, k),
-		world:        arrayToMBR(m.World),
-		pool:         pool,
-		multi:        multi,
-		dir:          dir,
-		gens:         make([]uint64, k),
-		pageCapacity: m.PageCapacity,
-		seedFanout:   m.SeedFanout,
+		shards:         make([]*core.Index, k),
+		bounds:         make([]geom.MBR, k),
+		world:          arrayToMBR(m.World),
+		pool:           pool,
+		multi:          multi,
+		dir:            dir,
+		gens:           make([]uint64, k),
+		pageCapacity:   m.PageCapacity,
+		seedFanout:     m.SeedFanout,
+		linearOverlay:  opts.LinearOverlay,
+		walSyncEveryOp: opts.WALSyncEveryOp,
 	}
 	for s, e := range m.Entries {
 		set.gens[s] = e.Generation
@@ -411,7 +499,63 @@ func open(dir string, bufferPages int, mmap bool) (*Set, error) {
 		set.bounds[s] = ix.Bounds()
 		set.count += ix.Len()
 	}
+	if err := set.openWAL(m, opts.WAL); err != nil {
+		closeAll()
+		return nil, err
+	}
 	return set, nil
+}
+
+// openWAL wires the write-ahead log into a freshly opened set: a log
+// the manifest references is opened and its valid prefix replayed into
+// the staged state; otherwise, when enable is set, a fresh log is
+// created and published in the manifest, upgrading the directory in
+// place. Runs during open, before the set is shared.
+func (set *Set) openWAL(m manifest, enable bool) error {
+	if m.WAL != "" {
+		w, recs, err := storage.OpenWAL(filepath.Join(set.dir, m.WAL))
+		if err != nil {
+			return fmt.Errorf("shard: open wal %s: %w", m.WAL, err)
+		}
+		set.wal = w
+		if err := set.replayWAL(recs); err != nil {
+			w.Close()
+			set.wal = nil
+			return fmt.Errorf("shard: replay wal %s: %w", m.WAL, err)
+		}
+		return nil
+	}
+	if !enable {
+		return nil
+	}
+	// Name the new log after the directory's current generation so a
+	// later rebuild's rotation (which uses a strictly newer generation)
+	// can never collide with it.
+	var gen uint64
+	for _, e := range m.Entries {
+		if e.Generation > gen {
+			gen = e.Generation
+		}
+	}
+	w, err := storage.CreateWAL(filepath.Join(set.dir, walFileName(gen)))
+	if err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		os.Remove(w.Path())
+		return err
+	}
+	m.WAL = walFileName(gen)
+	switch err := writeManifest(set.dir, m); {
+	case err == nil, errors.Is(err, errManifestNotDurable):
+	default:
+		w.Close()
+		os.Remove(w.Path())
+		return err
+	}
+	set.wal = w
+	return nil
 }
 
 // Prune returns the shards whose data bounds intersect q, in shard
@@ -437,12 +581,15 @@ func (s *Set) Prune(q geom.MBR) []int {
 // core, a failed query still reports the stats of the work it performed
 // before failing.
 func (s *Set) RangeQuery(ctx context.Context, q geom.MBR) ([]geom.Element, core.QueryStats, error) {
-	ins, dels := s.overlayFor(q)
+	ins, dels, err := s.overlayFor(q)
+	if err != nil {
+		return nil, core.QueryStats{}, err
+	}
 	out, st, err := s.rangeShards(ctx, q)
 	if err != nil {
 		return nil, st, err
 	}
-	if len(ins) == 0 && len(dels) == 0 {
+	if len(ins) == 0 && dels.empty() {
 		return out, st, nil
 	}
 	out = applyOverlay(out, ins, dels)
@@ -491,8 +638,11 @@ func (s *Set) rangeShards(ctx context.Context, q geom.MBR) ([]geom.Element, core
 // pending deletes force a materializing pass (they must be matched
 // against concrete elements), which reads exactly the same pages.
 func (s *Set) CountQuery(ctx context.Context, q geom.MBR) (int, core.QueryStats, error) {
-	ins, dels := s.overlayFor(q)
-	if len(dels) > 0 {
+	ins, dels, err := s.overlayFor(q)
+	if err != nil {
+		return 0, core.QueryStats{}, err
+	}
+	if !dels.empty() {
 		els, st, err := s.rangeShards(ctx, q)
 		if err != nil {
 			return 0, st, err
@@ -564,11 +714,11 @@ func (s *Set) Query(ctx context.Context, q geom.MBR, emit func(geom.Element) boo
 
 // querySequential is the prefetch-free streaming path: surviving shards
 // are crawled one after another on the caller's goroutine.
-func (s *Set) querySequential(ctx context.Context, q geom.MBR, sel []int, ins []geom.Element, dels []pendingDelete, emit func(geom.Element) bool) (core.QueryStats, error) {
+func (s *Set) querySequential(ctx context.Context, q geom.MBR, sel []int, ins []geom.Element, dels deleteView, emit func(geom.Element) bool) (core.QueryStats, error) {
 	var st core.QueryStats
 	emitted, stopped := 0, false
 	wrapped := func(e geom.Element) bool {
-		if matchesDelete(dels, e) {
+		if dels.matches(e) {
 			return true
 		}
 		emitted++
@@ -713,8 +863,25 @@ func (s *Set) Pool() *storage.ConcurrentPool { return s.pool }
 // DropCache empties the shared page cache.
 func (s *Set) DropCache() { s.pool.DropFrames() }
 
-// Close releases every shard's storage.
-func (s *Set) Close() error { return s.multi.Close() }
+// Close releases every shard's storage. A write-ahead log is synced
+// before it is closed, so a clean close acknowledges everything staged
+// (an unclean one keeps what the last Flush acknowledged).
+func (s *Set) Close() error {
+	s.pmu.Lock()
+	var werr error
+	if s.wal != nil {
+		werr = s.wal.Sync()
+		if cerr := s.wal.Close(); werr == nil {
+			werr = cerr
+		}
+		s.wal = nil
+	}
+	s.pmu.Unlock()
+	if err := s.multi.Close(); err != nil {
+		return err
+	}
+	return werr
+}
 
 // forEach runs fn(0..n-1) on a bounded worker pool and returns the
 // first error (remaining items may be skipped once a worker fails).

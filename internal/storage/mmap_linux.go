@@ -17,5 +17,10 @@ func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// Index pages are accessed by PageID, not sequentially: the kernel's
+	// default readahead drags in neighbouring pages a crawl will never
+	// touch. Advisory only, so a refusal (old kernels, odd filesystems)
+	// costs nothing.
+	_ = syscall.Madvise(data, syscall.MADV_RANDOM)
 	return data, func() error { return syscall.Munmap(data) }, nil
 }

@@ -45,6 +45,26 @@ type ShardedOptions struct {
 	// still work: rebuilt shard generations are written through ordinary
 	// file pagers and swapped in.
 	Mmap bool
+	// WAL records every staged insert and delete in a write-ahead log
+	// under Dir before it touches memory, making the staged delta
+	// survive a crash: OpenSharded replays the log and the staged
+	// updates are pending again, exactly as acknowledged. Requires a
+	// disk-backed index (Dir non-empty, or opening one). Acknowledgement
+	// is Flush (or WALSyncEveryOp): staged operations not yet synced can
+	// be lost to a crash, never torn — replay stops cleanly at the last
+	// intact record. When OpenShardedWithOptions finds an index whose
+	// manifest already references a log, the log is replayed regardless
+	// of this flag; WAL additionally upgrades a log-less index in place.
+	WAL bool
+	// WALSyncEveryOp fsyncs the write-ahead log inside every StageInsert
+	// and StageDelete call, making each one durable the moment it
+	// returns — no Flush needed, at a sync-per-call cost. Only
+	// meaningful with WAL.
+	WALSyncEveryOp bool
+	// AutoCompact, when either trigger is set, runs Rebuild automatically
+	// in the background once the staged delta grows past the configured
+	// thresholds. The zero value keeps compaction fully manual.
+	AutoCompact AutoCompact
 }
 
 // ShardedIndex is a spatially-partitioned FLAT index: K independent
@@ -62,6 +82,10 @@ type ShardedOptions struct {
 type ShardedIndex struct {
 	set   *shard.Set
 	guard queryGuard
+	// compact is the background compactor, nil unless
+	// ShardedOptions.AutoCompact enabled one. Set once at construction,
+	// before the index is shared.
+	compact *compactor
 }
 
 // BuildSharded bulkloads a sharded FLAT index over els (reordering the
@@ -76,19 +100,23 @@ func BuildSharded(els []Element, opts *ShardedOptions) (*ShardedIndex, error) {
 		o = *opts
 	}
 	set, err := shard.Build(els, shard.Config{
-		Shards:       o.Shards,
-		PageCapacity: o.PageCapacity,
-		SeedFanout:   o.SeedFanout,
-		PageFormat:   o.PageFormat,
-		World:        o.World,
-		Dir:          o.Dir,
-		BufferPages:  o.BufferPages,
-		BuildWorkers: o.BuildWorkers,
+		Shards:         o.Shards,
+		PageCapacity:   o.PageCapacity,
+		SeedFanout:     o.SeedFanout,
+		PageFormat:     o.PageFormat,
+		World:          o.World,
+		Dir:            o.Dir,
+		BufferPages:    o.BufferPages,
+		BuildWorkers:   o.BuildWorkers,
+		WAL:            o.WAL,
+		WALSyncEveryOp: o.WALSyncEveryOp,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{set: set}, nil
+	sx := &ShardedIndex{set: set}
+	sx.startCompactor(o.AutoCompact)
+	return sx, nil
 }
 
 // OpenSharded loads a previously built disk-backed sharded index from
@@ -99,25 +127,28 @@ func OpenSharded(dir string) (*ShardedIndex, error) {
 }
 
 // OpenShardedWithOptions loads a previously built disk-backed sharded
-// index from its directory. Only ShardedOptions.BufferPages and
-// ShardedOptions.Mmap are consulted; the shard count, geometry and
-// per-shard page formats come from the manifest and the shard files.
+// index from its directory. Only ShardedOptions.BufferPages, Mmap, WAL,
+// WALSyncEveryOp and AutoCompact are consulted; the shard count,
+// geometry and per-shard page formats come from the manifest and the
+// shard files. An index whose manifest references a write-ahead log has
+// the log replayed: every acknowledged staged update is pending again.
 func OpenShardedWithOptions(dir string, opts *ShardedOptions) (*ShardedIndex, error) {
 	var o ShardedOptions
 	if opts != nil {
 		o = *opts
 	}
-	var set *shard.Set
-	var err error
-	if o.Mmap {
-		set, err = shard.OpenMmap(dir, o.BufferPages)
-	} else {
-		set, err = shard.Open(dir, o.BufferPages)
-	}
+	set, err := shard.OpenSet(dir, shard.OpenOptions{
+		BufferPages:    o.BufferPages,
+		Mmap:           o.Mmap,
+		WAL:            o.WAL,
+		WALSyncEveryOp: o.WALSyncEveryOp,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{set: set}, nil
+	sx := &ShardedIndex{set: set}
+	sx.startCompactor(o.AutoCompact)
+	return sx, nil
 }
 
 // Query starts a streaming query session over q, with the same session
@@ -243,7 +274,11 @@ func (sx *ShardedIndex) StageInsert(els ...Element) error {
 		return err
 	}
 	defer sx.guard.exit()
-	return sx.set.StageInsert(els...)
+	if err := sx.set.StageInsert(els...); err != nil {
+		return err
+	}
+	sx.kickCompactor()
+	return nil
 }
 
 // StageDelete stages the removal of the element with the given id and
@@ -258,7 +293,48 @@ func (sx *ShardedIndex) StageDelete(id uint64, box MBR) error {
 		return err
 	}
 	defer sx.guard.exit()
-	return sx.set.StageDelete(id, box)
+	if err := sx.set.StageDelete(id, box); err != nil {
+		return err
+	}
+	sx.kickCompactor()
+	return nil
+}
+
+// Flush fsyncs the write-ahead log, making every staged update issued
+// so far durable: after Flush returns, a crash (or kill -9) at any
+// point loses none of them — reopening the index replays the log and
+// they are pending again. A no-op without a write-ahead log, and
+// redundant under WALSyncEveryOp. Safe to call concurrently with
+// queries and staging; returns ErrClosed after Close.
+func (sx *ShardedIndex) Flush() error {
+	if err := sx.guard.enter(); err != nil {
+		return err
+	}
+	defer sx.guard.exit()
+	return sx.set.Flush()
+}
+
+// DeltaStats sizes the staged-update delta of a ShardedIndex: the
+// totals across shards, the write-ahead log's on-disk footprint, and a
+// per-shard staged-vs-base breakdown (only shards with staged inserts
+// are listed).
+type DeltaStats = shard.DeltaStats
+
+// ShardDeltaStats is one shard's entry in DeltaStats.Shards: its
+// bulkloaded element count (Base) and its staged-insert count (Staged).
+type ShardDeltaStats = shard.ShardDeltaStats
+
+// DeltaStats reports the size of the staged-update delta awaiting the
+// next Rebuild: totals, the write-ahead log's on-disk footprint (0
+// without one), and a per-shard breakdown of staged inserts against
+// bulkloaded size — the ratio AutoCompact's DirtyRatio trigger watches.
+// Safe to call concurrently with queries and staging.
+func (sx *ShardedIndex) DeltaStats() (DeltaStats, error) {
+	if err := sx.guard.enter(); err != nil {
+		return DeltaStats{}, err
+	}
+	defer sx.guard.exit()
+	return sx.set.DeltaStats(), nil
 }
 
 // Pending returns the number of staged inserts and deletes awaiting the
@@ -361,10 +437,19 @@ func (sx *ShardedIndex) DropCache() error {
 	return nil
 }
 
-// Close releases every shard's storage. When queries are in flight it
-// returns ErrBusy and closes nothing; after a successful Close every
-// method returns ErrClosed.
+// Close releases every shard's storage, stopping the background
+// compactor (if any) first and syncing the write-ahead log, so staged
+// updates survive to the next OpenSharded even without a Flush. When
+// queries are in flight it returns ErrBusy and closes nothing; after a
+// successful Close every method returns ErrClosed.
 func (sx *ShardedIndex) Close() error {
+	if sx.compact != nil {
+		// Stop the compactor before taking the guard down: a Rebuild in
+		// flight holds it and would turn shutdown into ErrBusy. If Close
+		// then fails (queries in flight), the compactor stays stopped;
+		// staged updates are simply folded by the next manual Rebuild.
+		sx.compact.shutdown()
+	}
 	if err := sx.guard.shutdown(); err != nil {
 		return err
 	}
