@@ -210,6 +210,13 @@ func main() {
 		if !ok {
 			fatalf("-insert/-delete/-rebuild require a sharded index (use -shards > 1)")
 		}
+		// WAL size before this invocation stages anything, so the flush
+		// report below reflects only what this run appended.
+		walBefore := int64(0)
+		if st, err := sx.DeltaStats(); err == nil {
+			walBefore = st.WALBytes
+		}
+		stagedOps := 0
 		// Deletes are resolved first, against the index contents as they
 		// were before this invocation's -insert: staging follows
 		// last-op-wins, so inserts staged after the deletes are never
@@ -238,6 +245,7 @@ func main() {
 					staged++
 				}
 			}
+			stagedOps += staged
 			fmt.Printf("staged %d deletes for %d ids\n", staged, len(doomed))
 		}
 		if *insert != "" {
@@ -248,17 +256,22 @@ func main() {
 			if err := sx.StageInsert(add...); err != nil {
 				fatalf("stage insert: %v", err)
 			}
+			stagedOps += len(add)
 			fmt.Printf("staged %d inserts from %s\n", len(add), *insert)
 		}
 		// Make the staged updates durable before exit: with a write-ahead
 		// log a flush is all it takes (the next invocation replays them);
 		// -rebuild below folds them into the bulkloaded pages for good.
-		if *insert != "" || *del != "" {
-			if st, err := sx.DeltaStats(); err == nil && st.WALBytes > 0 {
+		// Gate on what this invocation actually staged, not on WAL
+		// presence — the log's size includes its header and previously
+		// flushed records, so it is nonzero even when nothing new was
+		// staged (e.g. -insert named an empty file).
+		if stagedOps > 0 {
+			if st, err := sx.DeltaStats(); err == nil && st.WALBytes > walBefore {
 				if err := sx.Flush(); err != nil {
 					fatalf("flush wal: %v", err)
 				}
-				fmt.Printf("flushed write-ahead log (%d bytes): staged updates survive until the next rebuild\n", st.WALBytes)
+				fmt.Printf("flushed write-ahead log (+%d bytes): staged updates survive until the next rebuild\n", st.WALBytes-walBefore)
 			}
 		}
 		if *rebuild {

@@ -107,25 +107,35 @@ func (s *Set) StageInsert(els ...geom.Element) error {
 	// WAL first: the operations are logged (with the seqs they are about
 	// to be staged under) before any of them mutates memory, so a crash
 	// can never leave memory ahead of the log.
+	base := s.clock
 	if s.wal != nil {
 		recs := make([]storage.WALRecord, len(els))
 		for i, e := range els {
-			recs[i] = storage.WALRecord{Op: storage.WALInsert, Seq: s.clock + 1 + uint64(i), ID: e.ID, Box: e.Box}
+			recs[i] = storage.WALRecord{Op: storage.WALInsert, Seq: base + 1 + uint64(i), ID: e.ID, Box: e.Box}
 		}
 		if err := s.walAppendLocked(recs); err != nil {
 			return err
 		}
 	}
+	// The whole batch's seqs are consumed up front, not one per staged
+	// element: the log already holds records under every one of them, so
+	// a mid-batch staging failure must burn the unstaged tail's seqs
+	// rather than let later operations reuse them — a crash-replay would
+	// restage the abandoned tail, and duplicated seqs break the strict
+	// ordering last-op-wins depends on (matchesAfter compares seqs with
+	// >). The error return leaves the tail logged but unstaged, the same
+	// at-least-once window every WAL error path has (see
+	// walAppendLocked).
+	s.clock = base + uint64(len(els))
 	if s.delta == nil {
 		s.delta = make([]*shardDelta, len(s.shards))
 	}
-	for _, e := range els {
-		s.clock++
+	for i, e := range els {
 		t := s.routeShard(e.Box)
 		if s.delta[t] == nil {
 			s.delta[t] = newShardDelta(s.linearOverlay)
 		}
-		if err := s.delta[t].add(stagedInsert{el: e, seq: s.clock}); err != nil {
+		if err := s.delta[t].add(stagedInsert{el: e, seq: base + 1 + uint64(i)}); err != nil {
 			return err
 		}
 	}
