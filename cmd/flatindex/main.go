@@ -201,7 +201,25 @@ func main() {
 			} else {
 				printFormatStats(v.ShardPageFormat(0), v.SizeBytes(), v.Len())
 			}
+			if st, err := v.DeltaStats(); err == nil {
+				fmt.Printf("  staged delta:  %d inserts, %d deletes", st.Inserts, st.Deletes)
+				if st.WALBytes > 0 {
+					fmt.Printf(", %d WAL bytes", st.WALBytes)
+				}
+				fmt.Println()
+				for _, sh := range st.Shards {
+					if sh.Staged > 0 {
+						fmt.Printf("    shard %d:     %d staged over %d base\n", sh.Shard, sh.Staged, sh.Base)
+					}
+				}
+			}
+			if cs := v.CompactorStats(); cs.Enabled {
+				fmt.Printf("  compactor:     %d runs, %d shards rebuilt, %d busy retries\n",
+					cs.Runs, cs.ShardsRebuilt, cs.BusyRetries)
+			}
 		}
+		cached, capacity := cacheStats(ix)
+		fmt.Printf("  page cache:    %d/%d pages resident\n", cached, capacity)
 	}
 
 	// Staged updates + incremental rebuild (sharded index only).
@@ -367,6 +385,18 @@ func main() {
 			tr.Close()
 		}
 	}
+}
+
+// cacheStats reads the page-cache occupancy off whichever index shape
+// is behind the QueryIndex contract.
+func cacheStats(ix flat.QueryIndex) (cached, capacity int) {
+	switch v := ix.(type) {
+	case *flat.Index:
+		return v.CacheStats()
+	case *flat.ShardedIndex:
+		return v.CacheStats()
+	}
+	return 0, 0
 }
 
 // openExisting is flat.OpenAny with the -mmap and -wal knobs: the

@@ -1,0 +1,320 @@
+// Command flatserve serves a built FLAT index over TCP — the network
+// face of the library: streaming range/count queries with limits and
+// shard prefetch, staged writes against the WAL-backed delta of a
+// sharded index, rebuilds, and an admin/stats endpoint. The protocol
+// is the length-prefixed binary framing of flat/internal/serve; see
+// the README's "Serving" section for the frame layout.
+//
+// Server mode (-index):
+//
+//	flatserve -index brain.shards -addr :4077
+//	flatserve -index brain.idx                 # plain index: read-only service
+//
+// The index is memory-mapped by default (-mmap=false for file reads)
+// and, when it is a shard directory, opened with its write-ahead log
+// so staged writes are durable (-wal=false to opt out). SIGINT/SIGTERM
+// trigger a graceful drain: the listener closes, new queries are
+// refused, in-flight streams get -drain to finish before they are
+// cancelled, the WAL is flushed and the index closed.
+//
+// One-shot client mode (no -index): the same binary queries a running
+// server, which keeps the wire protocol exercisable from a shell:
+//
+//	flatserve -addr :4077 -query "1,2,3,8,9,10" -limit 100
+//	flatserve -addr :4077 -query "1,2,3,8,9,10" -count
+//	flatserve -addr :4077 -point "5,5,5"
+//	flatserve -addr :4077 -insert delta.flte
+//	flatserve -addr :4077 -delete "17,1,2,3,4,5,6"
+//	flatserve -addr :4077 -flush
+//	flatserve -addr :4077 -rebuild
+//	flatserve -addr :4077 -stats
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"flat"
+	"flat/internal/datagen"
+	"flat/internal/serve"
+)
+
+func main() {
+	var (
+		index = flag.String("index", "", "index to serve: a page file or a shard directory (server mode)")
+		addr  = flag.String("addr", ":4077", "listen address (server mode) or server address (client mode)")
+
+		mmapF    = flag.Bool("mmap", true, "serve the index through a read-only memory mapping")
+		wal      = flag.Bool("wal", true, "write-ahead-log staged updates (shard directory only)")
+		inflight = flag.Int("max-inflight", 0, "global concurrent-query budget; the N+1th query is rejected busy (0: default 64)")
+		connq    = flag.Int("conn-queries", 0, "concurrent queries allowed per connection (0: default 16)")
+		batch    = flag.Int("batch", 0, "elements per streamed result frame (0: default 128)")
+		drain    = flag.Duration("drain", 5*time.Second, "graceful-shutdown grace period for in-flight queries")
+
+		query    = flag.String("query", "", "client: range query 'x1,y1,z1,x2,y2,z2'")
+		point    = flag.String("point", "", "client: point query 'x,y,z'")
+		count    = flag.Bool("count", false, "client: count instead of streaming the elements")
+		limit    = flag.Int("limit", 0, "client: stop the query after this many results (0: unlimited)")
+		cancelN  = flag.Int("cancel-after", 0, "client: cancel the stream after this many results (exercises the wire cancel)")
+		prefetch = flag.Int("prefetch", 0, "client: crawl up to this many shards concurrently server-side (0: sequential)")
+		insert   = flag.String("insert", "", "client: element file whose contents are staged for insertion")
+		del      = flag.String("delete", "", "client: stage one deletion, 'id,x1,y1,z1,x2,y2,z2'")
+		flush    = flag.Bool("flush", false, "client: flush the server's write-ahead log")
+		rebuild  = flag.Bool("rebuild", false, "client: fold staged updates into the bulkloaded shards")
+		stats    = flag.Bool("stats", false, "client: print the server's stats as JSON")
+	)
+	flag.Parse()
+
+	if *index != "" {
+		runServer(*index, *addr, *mmapF, *wal, serve.Config{
+			MaxInflight:    *inflight,
+			MaxConnQueries: *connq,
+			StreamBatch:    *batch,
+			DrainTimeout:   *drain,
+		})
+		return
+	}
+	runClient(*addr, clientOps{
+		query: *query, point: *point, count: *count,
+		limit: *limit, prefetch: *prefetch, cancelAfter: *cancelN,
+		insert: *insert, del: *del,
+		flush: *flush, rebuild: *rebuild, stats: *stats,
+	})
+}
+
+// openIndex opens the on-disk index for serving: the shape (file vs
+// directory) picks plain vs sharded, and serving defaults to the
+// mmap-backed read path (PR 7's pager) plus the WAL-backed write path
+// (PR 8's staging) where each applies.
+func openIndex(path string, mmap, wal bool) (flat.QueryIndex, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		return flat.OpenShardedWithOptions(path, &flat.ShardedOptions{Mmap: mmap, WAL: wal})
+	}
+	return flat.OpenWithOptions(path, &flat.Options{Mmap: mmap})
+}
+
+func runServer(index, addr string, mmap, wal bool, cfg serve.Config) {
+	ix, err := openIndex(index, mmap, wal)
+	if err != nil {
+		fatalf("open %s: %v", index, err)
+	}
+	sx, sharded := ix.(*flat.ShardedIndex)
+	if sharded {
+		if st, err := sx.DeltaStats(); err == nil && (st.Inserts > 0 || st.Deletes > 0) {
+			fmt.Printf("flatserve: replayed write-ahead log: %d staged inserts, %d staged deletes pending\n",
+				st.Inserts, st.Deletes)
+		}
+	} else {
+		fmt.Printf("flatserve: %s is a plain page file: serving queries only (writes need a shard directory)\n", index)
+	}
+
+	s := serve.NewServer(ix, cfg)
+	if err := s.Listen(addr); err != nil {
+		fatalf("listen %s: %v", addr, err)
+	}
+	fmt.Printf("flatserve: serving %s on %s\n", index, s.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve() }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("flatserve: %v: draining (grace %v)\n", sig, cfg.DrainTimeout)
+	case err := <-serveErr:
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		return
+	}
+	s.Shutdown()
+	if sharded {
+		// Anything acknowledged is already logged; one last flush covers
+		// updates staged through other paths before the index closes.
+		if err := sx.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "flatserve: final wal flush: %v\n", err)
+		}
+	}
+	if err := ix.Close(); err != nil {
+		fatalf("close index: %v", err)
+	}
+	fmt.Println("flatserve: drained, index closed")
+}
+
+type clientOps struct {
+	query, point string
+	count        bool
+	limit        int
+	prefetch     int
+	cancelAfter  int
+	insert, del  string
+	flush        bool
+	rebuild      bool
+	stats        bool
+}
+
+func runClient(addr string, ops clientOps) {
+	if ops.query == "" && ops.point == "" && ops.insert == "" && ops.del == "" &&
+		!ops.flush && !ops.rebuild && !ops.stats {
+		fatalf("nothing to do: pass -index to serve, or a client operation (-query, -point, -insert, -delete, -flush, -rebuild, -stats); see -help")
+	}
+	c, err := serve.Dial(addr)
+	if err != nil {
+		fatalf("dial %s: %v", addr, err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	if ops.insert != "" {
+		els, err := datagen.LoadElements(ops.insert)
+		if err != nil {
+			fatalf("load %s: %v", ops.insert, err)
+		}
+		if err := c.Insert(ctx, els); err != nil {
+			fatalf("insert: %v", err)
+		}
+		fmt.Printf("staged %d inserts (wal flushed)\n", len(els))
+	}
+	if ops.del != "" {
+		nums, err := parseFloats(ops.del, 7)
+		if err != nil {
+			fatalf("bad -delete: %v", err)
+		}
+		id := uint64(nums[0])
+		box := flat.Box(flat.V(nums[1], nums[2], nums[3]), flat.V(nums[4], nums[5], nums[6]))
+		if err := c.Delete(ctx, id, box); err != nil {
+			fatalf("delete: %v", err)
+		}
+		fmt.Printf("staged delete of element %d (wal flushed)\n", id)
+	}
+	if ops.flush {
+		if err := c.Flush(ctx); err != nil {
+			fatalf("flush: %v", err)
+		}
+		fmt.Println("write-ahead log flushed")
+	}
+	if ops.rebuild {
+		n, err := c.Rebuild(ctx)
+		if err != nil {
+			fatalf("rebuild: %v", err)
+		}
+		fmt.Printf("rebuilt %d shards\n", n)
+	}
+
+	var q flat.MBR
+	haveQuery := false
+	switch {
+	case ops.query != "":
+		co, err := parseFloats(ops.query, 6)
+		if err != nil {
+			fatalf("bad -query: %v", err)
+		}
+		q = flat.Box(flat.V(co[0], co[1], co[2]), flat.V(co[3], co[4], co[5]))
+		haveQuery = true
+	case ops.point != "":
+		co, err := parseFloats(ops.point, 3)
+		if err != nil {
+			fatalf("bad -point: %v", err)
+		}
+		p := flat.V(co[0], co[1], co[2])
+		q = flat.Box(p, p)
+		haveQuery = true
+	}
+	if haveQuery {
+		qo := serve.QueryOptions{Limit: ops.limit, Prefetch: ops.prefetch}
+		if ops.count {
+			n, st, err := c.Count(ctx, q, qo)
+			if err != nil {
+				fatalf("count: %v", err)
+			}
+			fmt.Printf("query %v: %d results\n", q, n)
+			printQueryStats(st)
+		} else {
+			stream, err := c.Range(ctx, q, qo)
+			if err != nil {
+				fatalf("query: %v", err)
+			}
+			const maxPrint = 10
+			n := 0
+			cancelled := false
+			for e, err := range stream.All() {
+				if err != nil {
+					fatalf("query: %v", err)
+				}
+				if n < maxPrint {
+					fmt.Printf("  element %d %v\n", e.ID, e.Box)
+				} else if n == maxPrint {
+					fmt.Printf("  ...\n")
+				}
+				n++
+				// Breaking out of All() sends the cancel frame and drains
+				// to the server's terminator.
+				if ops.cancelAfter > 0 && n == ops.cancelAfter {
+					cancelled = true
+					break
+				}
+			}
+			switch {
+			case cancelled:
+				fmt.Printf("query %v: cancelled after %d results (-cancel-after)\n", q, n)
+			case ops.limit > 0 && n == ops.limit:
+				fmt.Printf("query %v: stopped after %d results (-limit)\n", q, n)
+				printQueryStats(stream.Stats())
+			default:
+				fmt.Printf("query %v: %d results\n", q, n)
+				printQueryStats(stream.Stats())
+			}
+		}
+	}
+
+	if ops.stats {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		blob, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		fmt.Println(string(blob))
+	}
+}
+
+func printQueryStats(st flat.QueryStats) {
+	fmt.Printf("  page reads: %d total (%d seed + %d metadata + %d object)\n",
+		st.TotalReads, st.SeedReads, st.MetadataReads, st.ObjectReads)
+}
+
+func parseFloats(s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated numbers, got %d", n, len(parts))
+	}
+	out := make([]float64, n)
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flatserve: "+format+"\n", args...)
+	os.Exit(1)
+}

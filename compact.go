@@ -3,6 +3,7 @@ package flat
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,51 @@ type compactor struct {
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+
+	// Activity counters, read by CompactorStats (and through it the
+	// flatserve admin endpoint) while the compactor runs.
+	runs          atomic.Int64 // background Rebuilds completed
+	shardsRebuilt atomic.Int64 // shards those rebuilds folded
+	busyRetries   atomic.Int64 // Rebuild attempts bounced off in-flight queries
+	lastRunNano   atomic.Int64 // wall clock of the last completed run, 0 = never
+}
+
+// CompactorStats reports the background compactor's activity. The zero
+// value (Enabled false) means the index runs without one.
+type CompactorStats struct {
+	// Enabled reports whether ShardedOptions.AutoCompact started a
+	// background compactor for this index.
+	Enabled bool
+	// Runs counts completed background Rebuilds.
+	Runs int64
+	// ShardsRebuilt counts the shards those runs re-bulkloaded.
+	ShardsRebuilt int64
+	// BusyRetries counts Rebuild attempts that found queries in flight
+	// (ErrBusy) and backed off.
+	BusyRetries int64
+	// LastRun is the wall-clock time the last run completed; zero when
+	// the compactor has never folded anything.
+	LastRun time.Time
+}
+
+// CompactorStats snapshots the background compactor's activity
+// counters. Safe to call concurrently with everything, including after
+// Close (the counters outlive the compactor goroutine).
+func (sx *ShardedIndex) CompactorStats() CompactorStats {
+	c := sx.compact
+	if c == nil {
+		return CompactorStats{}
+	}
+	st := CompactorStats{
+		Enabled:       true,
+		Runs:          c.runs.Load(),
+		ShardsRebuilt: c.shardsRebuilt.Load(),
+		BusyRetries:   c.busyRetries.Load(),
+	}
+	if ns := c.lastRunNano.Load(); ns != 0 {
+		st.LastRun = time.Unix(0, ns)
+	}
+	return st
 }
 
 // startCompactor launches the compactor when cfg enables it. Called
@@ -124,10 +170,17 @@ func (c *compactor) compactWithBackoff() {
 	delay := time.Millisecond
 	const maxDelay = 250 * time.Millisecond
 	for {
-		_, err := c.sx.Rebuild()
+		rebuilt, err := c.sx.Rebuild()
+		if err == nil {
+			c.runs.Add(1)
+			c.shardsRebuilt.Add(int64(len(rebuilt)))
+			c.lastRunNano.Store(time.Now().UnixNano())
+			return
+		}
 		if !errors.Is(err, ErrBusy) {
 			return
 		}
+		c.busyRetries.Add(1)
 		select {
 		case <-c.stop:
 			return

@@ -613,6 +613,15 @@ func (ix *Index) World() MBR { defer ix.guard.view()(); return ix.inner.World() 
 // partition.
 func (ix *Index) AvgNeighbors() float64 { defer ix.guard.view()(); return ix.inner.AvgNeighbors() }
 
+// CacheStats reports the page cache's occupancy: how many frames it
+// currently holds and its configured budget (capacity <= 0: unbounded).
+// A serving layer exposes this so operators can see how much of the
+// budget live traffic actually uses.
+func (ix *Index) CacheStats() (cached, capacity int) {
+	defer ix.guard.view()()
+	return ix.pool.Len(), ix.pool.Capacity()
+}
+
 // DropCache empties the page cache so the next query starts cold — the
 // equivalent of the paper's clearing of OS caches between measurements.
 // It is a maintenance operation: when queries are in flight it returns

@@ -79,6 +79,9 @@ func (l *Loader) goList(patterns ...string) ([]*listMeta, error) {
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = l.Dir
+	// Select the pure-Go build: cgo-using stdlib files (net's resolver)
+	// reference _C_* types from generated files the loader never sees.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
@@ -166,6 +169,12 @@ func (l *Loader) check(m *listMeta) (*Package, error) {
 			return types.Unsafe, nil
 		}
 		if p, ok := l.pkgs[path]; ok {
+			return p.Types, nil
+		}
+		// Standard-library packages import their vendored dependencies
+		// by the unprefixed path, but go list reports those packages
+		// under vendor/ (e.g. net's golang.org/x/net/dns/dnsmessage).
+		if p, ok := l.pkgs["vendor/"+path]; ok {
 			return p.Types, nil
 		}
 		// -deps order guarantees dependencies precede dependents, so a

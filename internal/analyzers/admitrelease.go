@@ -1,0 +1,268 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"flat/internal/analysis"
+)
+
+// AdmitRelease checks that every admission-slot acquisition is released
+// on all return paths — the slot-leak class that would silently shrink
+// the server's query budget until every query is rejected busy.
+var AdmitRelease = &analysis.Analyzer{
+	Name: "admitrelease",
+	Doc: `admission slots acquired with tryAcquire must be released on every return path
+
+For methods of a type whose name contains "admission" (internal/serve's
+query-admission budget):
+
+  - a tryAcquire() that returns true claims a slot the function must
+    give back: after the acquire, the function must install
+    "defer a.release()", or call release() before every later return
+    statement. Returns inside the rejection branch
+    (if !a.tryAcquire() { return ... }, or ok := a.tryAcquire();
+    if !ok { return ... }) are the failed acquire and need no release.
+  - in the "if a.tryAcquire() { ... }" shape the slot is held only
+    inside the body; returns after the if are not charged.
+  - the acquire's result must not be discarded: a bare statement call
+    both drops the rejection signal and leaks the granted slot.
+
+The all-paths check is lexical within the function (a release textually
+between the acquire and the return satisfies it), matching the one
+lexical scope the server holds a slot in; release/inflight/capacity on
+their own are not tracked.`,
+	Run: runAdmitRelease,
+}
+
+func runAdmitRelease(pass *analysis.Pass) (any, error) {
+	funcScope(pass, func(_ *ast.FuncType, _ *ast.FieldList, _ *ast.CommentGroup, body *ast.BlockStmt) {
+		checkAdmissionScope(pass, body)
+	})
+	return nil, nil
+}
+
+// admCall is one call to an admission method within a scope.
+type admCall struct {
+	call *ast.CallExpr
+	base string // printed receiver expression, e.g. "s.adm"
+	name string // method name
+}
+
+// checkAdmissionScope analyzes one function body (nested literals are
+// their own scopes via funcScope). A goroutine that acquires must also
+// release: the server's per-query goroutine is exactly such a scope.
+func checkAdmissionScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var acquires, releases, deferredReleases []admCall
+	parents := map[ast.Node]ast.Node{}
+
+	var stack []ast.Node
+	walkShallow(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ac, ok := admissionMethodCall(pass, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case isAcquireName(ac.name):
+			acquires = append(acquires, ac)
+		case ac.name == "release":
+			if _, isDefer := parents[n].(*ast.DeferStmt); isDefer {
+				deferredReleases = append(deferredReleases, ac)
+			} else {
+				releases = append(releases, ac)
+			}
+		}
+		return true
+	})
+
+	if len(acquires) == 0 {
+		return
+	}
+	var returns []*ast.ReturnStmt
+	walkShallow(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			returns = append(returns, r)
+		}
+		return true
+	})
+
+	for _, acq := range acquires {
+		checkAdmissionAcquire(pass, acq, parents, releases, deferredReleases, returns)
+	}
+}
+
+// admissionMethodCall matches a method call whose receiver's named
+// type contains "admission" (any case), so a renamed or wrapped slot
+// pool stays covered.
+func admissionMethodCall(pass *analysis.Pass, call *ast.CallExpr) (admCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return admCall{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !strings.Contains(strings.ToLower(namedTypeName(tv.Type)), "admission") {
+		return admCall{}, false
+	}
+	return admCall{call: call, base: types.ExprString(ast.Unparen(sel.X)), name: sel.Sel.Name}, true
+}
+
+// isAcquireName matches the acquire-ish methods: tryAcquire today, and
+// any future acquire/tryAcquireN variant by substring.
+func isAcquireName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "acquire")
+}
+
+// checkAdmissionAcquire validates one tryAcquire call: result used,
+// and a release present on every return path that can hold the slot.
+func checkAdmissionAcquire(pass *analysis.Pass, acq admCall, parents map[ast.Node]ast.Node, releases, deferredReleases []admCall, returns []*ast.ReturnStmt) {
+	if _, discarded := parents[acq.call].(*ast.ExprStmt); discarded {
+		pass.Reportf(acq.call.Pos(), "%s.%s()'s result is discarded; a denied slot must reject the query and a granted one must reach %s.release()", acq.base, acq.name, acq.base)
+		return
+	}
+	exempt, scopeEnd := admissionExemptReturns(pass, acq, parents)
+
+	// A matching deferred release covers every path from its own
+	// position on; returns between the acquire and the defer leak.
+	var deferPos token.Pos = token.NoPos
+	for _, d := range deferredReleases {
+		if d.base == acq.base && d.call.Pos() > acq.call.Pos() {
+			deferPos = d.call.Pos()
+			break
+		}
+	}
+	var releasePositions []token.Pos
+	for _, r := range releases {
+		if r.base == acq.base {
+			releasePositions = append(releasePositions, r.call.Pos())
+		}
+	}
+
+	if deferPos == token.NoPos && len(releasePositions) == 0 {
+		pass.Reportf(acq.call.Pos(), "%s.%s() is never paired with %s.release() in this function", acq.base, acq.name, acq.base)
+		return
+	}
+
+	end := deferPos
+	if end == token.NoPos {
+		end = token.Pos(int(^uint(0) >> 1)) // every return must be covered
+	}
+	for _, ret := range returns {
+		if ret.Pos() <= acq.call.Pos() || ret.Pos() >= end && deferPos != token.NoPos {
+			continue
+		}
+		if scopeEnd != token.NoPos && ret.Pos() >= scopeEnd {
+			continue // past the success branch: the slot was never held here
+		}
+		if exempt[ret] {
+			continue
+		}
+		covered := false
+		for _, rp := range releasePositions {
+			if rp > acq.call.Pos() && rp < ret.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(ret.Pos(), "return leaks the admission slot acquired by %s.%s() (no %s.release() on this path)", acq.base, acq.name, acq.base)
+		}
+	}
+}
+
+// admissionExemptReturns collects the returns that belong to the
+// acquire's own rejection branch, plus (for the positive
+// "if a.tryAcquire() { ... }" shape) the position after which the slot
+// is no longer held. Handled shapes:
+//
+//	if !a.tryAcquire() { return ... }        // body returns exempt
+//	if a.tryAcquire() { ... }                // returns after the if exempt
+//	ok := a.tryAcquire(); if !ok { return }  // body returns exempt
+func admissionExemptReturns(pass *analysis.Pass, acq admCall, parents map[ast.Node]ast.Node) (map[*ast.ReturnStmt]bool, token.Pos) {
+	exempt := map[*ast.ReturnStmt]bool{}
+	scopeEnd := token.NoPos
+	markBody := func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if r, ok := n.(*ast.ReturnStmt); ok {
+				exempt[r] = true
+			}
+			return true
+		})
+	}
+
+	switch p := parents[acq.call].(type) {
+	case *ast.UnaryExpr:
+		// if !a.tryAcquire() { ... }
+		if p.Op != token.NOT {
+			return exempt, scopeEnd
+		}
+		if ifStmt, ok := parents[p].(*ast.IfStmt); ok && ast.Unparen(ifStmt.Cond) == p {
+			markBody(ifStmt.Body)
+		}
+	case *ast.IfStmt:
+		// if a.tryAcquire() { ... }: the success branch is the body; the
+		// else branch (if any) and everything after never hold the slot.
+		if ast.Unparen(p.Cond) == acq.call {
+			if p.Else != nil {
+				ast.Inspect(p.Else, func(n ast.Node) bool {
+					if r, ok := n.(*ast.ReturnStmt); ok {
+						exempt[r] = true
+					}
+					return true
+				})
+			}
+			scopeEnd = p.Body.End()
+		}
+	case *ast.AssignStmt:
+		// ok := a.tryAcquire(); if !ok { ... }
+		if len(p.Lhs) != 1 {
+			return exempt, scopeEnd
+		}
+		okIdent, ok := p.Lhs[0].(*ast.Ident)
+		if !ok {
+			return exempt, scopeEnd
+		}
+		okObj := pass.TypesInfo.Defs[okIdent]
+		if okObj == nil {
+			okObj = pass.TypesInfo.Uses[okIdent]
+		}
+		markIf := func(ifStmt *ast.IfStmt) {
+			not, ok := ast.Unparen(ifStmt.Cond).(*ast.UnaryExpr)
+			if !ok || not.Op != token.NOT {
+				return
+			}
+			condIdent, ok := ast.Unparen(not.X).(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[condIdent] != okObj {
+				return
+			}
+			markBody(ifStmt.Body)
+		}
+		if ifStmt, ok := parents[p].(*ast.IfStmt); ok && ifStmt.Init == p {
+			markIf(ifStmt)
+			return exempt, scopeEnd
+		}
+		block, ok := parents[p].(*ast.BlockStmt)
+		if !ok {
+			return exempt, scopeEnd
+		}
+		for _, stmt := range block.List {
+			if ifStmt, ok := stmt.(*ast.IfStmt); ok && ifStmt.Pos() > p.Pos() {
+				markIf(ifStmt)
+			}
+		}
+	}
+	return exempt, scopeEnd
+}

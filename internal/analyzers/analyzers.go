@@ -31,6 +31,7 @@ import (
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		AdmitRelease,
 		CodecBounds,
 		CtxCrawl,
 		GuardPair,

@@ -7,6 +7,10 @@ import (
 	"flat/internal/analyzers"
 )
 
+func TestAdmitRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.AdmitRelease, "admitrelease")
+}
+
 func TestCtxCrawl(t *testing.T) {
 	analysistest.Run(t, "testdata", analyzers.CtxCrawl, "ctxcrawl")
 }

@@ -1,0 +1,130 @@
+// Fixtures for the admitrelease analyzer: every admission-slot
+// acquisition must be released on all return paths.
+package admitrelease
+
+type admission struct{ slots chan struct{} }
+
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+func (a *admission) inflight() int { return len(a.slots) }
+
+type server struct {
+	adm *admission
+}
+
+// startQuery is the canonical clean shape: rejection branch, defer.
+func (s *server) startQuery() bool {
+	if !s.adm.tryAcquire() {
+		return false
+	}
+	defer s.adm.release()
+	return true
+}
+
+// goroutineScope mirrors the server's per-query goroutine: the literal
+// is its own scope and must balance its own acquire.
+func (s *server) goroutineScope() {
+	go func() {
+		if !s.adm.tryAcquire() {
+			return
+		}
+		defer s.adm.release()
+	}()
+}
+
+// inlineReleases pairs the acquire without defer: a release before
+// every later return.
+func (s *server) inlineReleases(fail bool) bool {
+	if !s.adm.tryAcquire() {
+		return false
+	}
+	if fail {
+		s.adm.release()
+		return false
+	}
+	s.adm.release()
+	return true
+}
+
+// positiveShape holds the slot only inside the success branch; the
+// return after the if never held it.
+func (s *server) positiveShape(work func()) bool {
+	if s.adm.tryAcquire() {
+		defer s.adm.release()
+		work()
+	}
+	return true
+}
+
+// assignedOK binds the acquire to a variable before the rejection
+// check.
+func (s *server) assignedOK() bool {
+	ok := s.adm.tryAcquire()
+	if !ok {
+		return false
+	}
+	defer s.adm.release()
+	return true
+}
+
+// observer only reads the gauge: nothing to pair.
+func (s *server) observer() int { return s.adm.inflight() }
+
+// leaky returns between the acquire and the deferred release.
+func (s *server) leaky(fail bool) bool {
+	if !s.adm.tryAcquire() {
+		return false
+	}
+	if fail {
+		return false // want `return leaks the admission slot acquired by s.adm.tryAcquire`
+	}
+	defer s.adm.release()
+	return true
+}
+
+// neverReleases claims a slot this function cannot give back.
+func (s *server) neverReleases() bool {
+	if !s.adm.tryAcquire() { // want `s.adm.tryAcquire\(\) is never paired with s.adm.release`
+		return false
+	}
+	return true
+}
+
+// discarded drops the grant/denial on the floor.
+func (s *server) discarded() {
+	s.adm.tryAcquire() // want `result is discarded`
+	defer s.adm.release()
+}
+
+// leakyAssigned leaks through the bound-variable shape.
+func (s *server) leakyAssigned(fail bool) bool {
+	ok := s.adm.tryAcquire()
+	if !ok {
+		return false
+	}
+	if fail {
+		return false // want `return leaks the admission slot acquired by s.adm.tryAcquire`
+	}
+	s.adm.release()
+	return true
+}
+
+// shedding intentionally holds the slot past the function: a paired
+// shutdown path releases it, which the lexical check cannot see.
+func (s *server) shedding(hold chan<- *admission) bool {
+	//lint:ignore admitrelease the slot is handed to the drain loop, which releases it at shutdown
+	if !s.adm.tryAcquire() {
+		return false
+	}
+	hold <- s.adm
+	return true
+}

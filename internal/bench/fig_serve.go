@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"flat"
+	"flat/internal/datagen"
+	"flat/internal/serve"
+)
+
+// serveShards fixes the shard count of the serving experiment: the wire
+// cost under study (framing, streaming, admission) is independent of K,
+// so one representative K keeps the sweep one-dimensional.
+const serveShards = 4
+
+// serveLimit is the bound of the limited mode: small enough that the
+// crawl aborts after a handful of pages, so the mode isolates the
+// fixed per-query wire cost from the streaming cost.
+const serveLimit = 32
+
+// serveExperiment measures query latency through the network service:
+// a serve.Server over a sharded index on a loopback listener, swept
+// over concurrent client counts, comparing open-ended streams (the
+// whole result set crosses the wire) against Limit-bounded queries
+// (the crawl aborts server-side after serveLimit elements). Each
+// worker dials its own connection and replays the LSS query set
+// back-to-back; the table reports client-observed whole-query
+// latency percentiles and aggregate throughput per (workers, mode).
+//
+// The admission budget is sized above the sweep so no query is
+// rejected — rejections are covered by the serve package's tests; this
+// experiment wants the latency of admitted queries only. The run
+// fails if the server counted a rejection anyway.
+func (r *Runner) serveExperiment() ([]*Table, error) {
+	n := r.Cfg.Densities[len(r.Cfg.Densities)-1]
+	m := r.model(n)
+	queries := datagen.Queries(datagen.QuerySpec{
+		Count:          r.Cfg.Queries,
+		World:          m.Volume,
+		VolumeFraction: r.Cfg.LSSFraction,
+		Seed:           r.Cfg.Seed + 300,
+	})
+
+	maxWorkers := 1
+	for _, w := range r.Cfg.Workers {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+
+	r.logf("serve: building K=%d sharded index over %d elements", serveShards, n)
+	els := append([]flat.Element(nil), m.Elements...)
+	sx, err := flat.BuildSharded(els, &flat.ShardedOptions{
+		Shards:       serveShards,
+		PageCapacity: r.Cfg.NodeCapacity,
+		SeedFanout:   r.Cfg.NodeCapacity,
+		World:        m.Volume,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve build: %w", err)
+	}
+	defer sx.Close()
+
+	s := serve.NewServer(sx, serve.Config{
+		// One query in flight per connection, one connection per worker:
+		// 2x the widest sweep point guarantees admission never rejects.
+		MaxInflight: 2 * maxWorkers,
+	})
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		return nil, fmt.Errorf("serve listen: %w", err)
+	}
+	go s.Serve()
+	defer s.Shutdown()
+	addr := s.Addr().String()
+
+	table := &Table{
+		ID: "serve",
+		Title: fmt.Sprintf("Network service latency vs concurrent clients (brain model, n=%d, K=%d, %d LSS queries/client)",
+			n, serveShards, len(queries)),
+		Columns: []string{
+			"workers", "mode", "queries", "p50 us", "p99 us", "queries/sec", "results/query",
+		},
+		Note: "each worker is one TCP connection to an in-process flatserve on loopback, replaying the LSS " +
+			fmt.Sprintf("query set back-to-back; \"stream\" drains the whole result set, \"limit\" stops the crawl at %d elements. ", serveLimit) +
+			"Latency is client-observed wall-clock per query, request frame to final done frame (dial cost excluded), machine-dependent. " +
+			"Admission budget sized above the sweep: zero rejections asserted.",
+	}
+
+	ctx := context.Background()
+	for _, workers := range r.Cfg.Workers {
+		for _, mode := range []struct {
+			name  string
+			limit int
+		}{{"stream", 0}, {"limit", serveLimit}} {
+			lats, results, elapsed, err := r.serveRun(ctx, addr, queries, workers, mode.limit)
+			if err != nil {
+				return nil, fmt.Errorf("serve %s w=%d: %w", mode.name, workers, err)
+			}
+			nq := uint64(len(lats))
+			qps := float64(nq) / elapsed.Seconds()
+			p50, p99 := pctUS(lats, 0.50), pctUS(lats, 0.99)
+			r.logf("  serve %s w=%d: p50 %.1fus p99 %.1fus, %.0f q/s", mode.name, workers, p50, p99, qps)
+			table.AddRow(fi(workers), mode.name, fu(nq), f1(p50), f1(p99), f1(qps), fu(results/nq))
+		}
+	}
+
+	if st := s.Stats(); st.Counters.Rejected != 0 {
+		return nil, fmt.Errorf("serve: %d queries rejected despite the oversized admission budget", st.Counters.Rejected)
+	}
+	return []*Table{table}, nil
+}
+
+// serveRun fans workers concurrent clients over the query set and
+// returns every per-query latency, the total results streamed and the
+// wall-clock of the whole fan-out.
+func (r *Runner) serveRun(ctx context.Context, addr string, queries []flat.MBR, workers, limit int) ([]time.Duration, uint64, time.Duration, error) {
+	var (
+		mu      sync.Mutex
+		lats    []time.Duration
+		results uint64
+		wg      sync.WaitGroup
+		errc    = make(chan error, workers)
+	)
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := serve.Dial(addr)
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer c.Close()
+			myLats := make([]time.Duration, 0, len(queries))
+			var myResults uint64
+			for i := range queries {
+				// Offset each worker's replay so the server never sees all
+				// clients crawling the same region in lockstep.
+				q := queries[(i+w*7)%len(queries)]
+				qt := time.Now()
+				st, err := c.Range(ctx, q, serve.QueryOptions{Limit: limit})
+				if err != nil {
+					errc <- err
+					return
+				}
+				for _, err := range st.All() {
+					if err != nil {
+						errc <- err
+						return
+					}
+					myResults++
+				}
+				myLats = append(myLats, time.Since(qt))
+			}
+			mu.Lock()
+			lats = append(lats, myLats...)
+			results += myResults
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	select {
+	case err := <-errc:
+		return nil, 0, 0, err
+	default:
+	}
+	return lats, results, elapsed, nil
+}
+
+// pctUS returns the p-quantile of lats in microseconds (nearest rank).
+func pctUS(lats []time.Duration, p float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e3
+}

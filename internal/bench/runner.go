@@ -362,4 +362,5 @@ var registry = map[string]func(*Runner) ([]*Table, error){
 	"streammerge": (*Runner).streamMerge,
 	"pagecodec":   (*Runner).pagecodec,
 	"staging":     (*Runner).staging,
+	"serve":       (*Runner).serveExperiment,
 }

@@ -315,6 +315,11 @@ func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit 
 				if !sc.enqueued[n] {
 					sc.enqueued[n] = true
 					sc.queue = append(sc.queue, n)
+					// The record will be read a few BFS steps from now;
+					// hint the pager so a memory-mapped index can fault
+					// the page in while this record is still being
+					// processed. Free on pagers without an Adviser side.
+					eng.pool.Advise(n.Page())
 				}
 			}
 			// Giant partitions continue their neighbor list in chained
@@ -338,6 +343,7 @@ func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit 
 					if !sc.enqueued[n] {
 						sc.enqueued[n] = true
 						sc.queue = append(sc.queue, n)
+						eng.pool.Advise(n.Page())
 					}
 				}
 				next = ov.Overflow

@@ -1,0 +1,42 @@
+package serve
+
+// admission is the server's global query-admission budget: a
+// fixed-size slot pool shared by every connection. A query holds one
+// slot for its whole streaming lifetime (admission to completion,
+// cancellation or disconnect), so the slot count bounds the number of
+// crawls concurrently competing for the index's shared page cache.
+// When no slot is free the query is rejected immediately with
+// flat.ErrBusy rather than queued: under overload the server stays
+// predictable (the client sees busy and can back off or hedge) instead
+// of building an invisible convoy.
+//
+// The contract — every tryAcquire that returns true is paired with
+// exactly one release on every return path — is enforced statically by
+// flatlint's admitrelease analyzer over this package.
+type admission struct {
+	slots chan struct{}
+}
+
+func newAdmission(n int) *admission {
+	return &admission{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire claims a slot without blocking; false means the budget is
+// exhausted and the caller must reject the query.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a slot claimed by tryAcquire.
+func (a *admission) release() { <-a.slots }
+
+// inflight reports the number of slots currently held.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// capacity reports the total slot budget.
+func (a *admission) capacity() int { return cap(a.slots) }

@@ -1,0 +1,510 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"net"
+	"sync"
+
+	"flat"
+)
+
+// Client is a flatserve connection: one TCP socket multiplexing
+// concurrent requests by id. A demultiplexing reader goroutine routes
+// response frames to per-request channels; a consumer that stops
+// pulling its Stream eventually fills its channel, which stalls the
+// reader, which stalls the server's writes, which stalls the crawl —
+// backpressure end to end with no protocol-level flow control.
+//
+// Methods are safe for concurrent use. Note the shared reader: a
+// stream left unread indefinitely stalls the whole connection, so
+// clients that interleave slow streams with other traffic should use
+// one Client per stream.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan respFrame
+	readErr error         // terminal reader error, set before closing done
+	done    chan struct{} // closed when the reader exits
+}
+
+type respFrame struct {
+	typ  byte
+	body []byte // payload after the request id
+}
+
+// streamWindow is the per-request channel depth: how many response
+// frames the reader will buffer for a slow consumer before it stops
+// reading the socket (and backpressure reaches the server).
+const streamWindow = 4
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hello := append(append([]byte{}, magic[:]...), Version)
+	if _, err := conn.Write(hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var accept [1]byte
+	if _, err := io.ReadFull(conn, accept[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if accept[0] != Version {
+		conn.Close()
+		return nil, errBadVersion
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint32]chan respFrame),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down. In-flight requests fail with the
+// connection error; the server cancels their crawls on disconnect.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Abort closes the raw socket without any protocol goodbye —
+// deliberately indistinguishable from a crashed client. Tests use it
+// to prove a disconnect cancels the server-side crawl.
+func (c *Client) Abort() { c.conn.Close() }
+
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var typ byte
+		var payload []byte
+		typ, payload, err = readFrame(c.conn)
+		if err != nil {
+			break
+		}
+		if len(payload) < 4 {
+			err = errShortFrame
+			break
+		}
+		reqID := getU32(payload)
+		c.mu.Lock()
+		ch := c.pending[reqID]
+		c.mu.Unlock()
+		if ch == nil {
+			continue // response to an unregistered (cancelled) request
+		}
+		// Blocking send: the consumer's unread window is the read
+		// window for the whole connection.
+		ch <- respFrame{typ: typ, body: payload[4:]}
+	}
+	c.mu.Lock()
+	c.readErr = err
+	for _, ch := range c.pending {
+		close(ch)
+	}
+	c.pending = nil
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// register allocates a request id and its response channel.
+func (c *Client) register() (uint32, chan respFrame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending == nil {
+		return 0, nil, c.connErr()
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan respFrame, streamWindow)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+func (c *Client) unregister(id uint32) {
+	c.mu.Lock()
+	if c.pending != nil {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+}
+
+// connErr describes a dead connection; called with c.mu held or after
+// done is closed.
+func (c *Client) connErr() error {
+	if c.readErr == nil || errors.Is(c.readErr, io.EOF) || errors.Is(c.readErr, net.ErrClosed) {
+		return fmt.Errorf("flatserve: connection closed: %w", flat.ErrClosed)
+	}
+	return fmt.Errorf("flatserve: connection error: %w", c.readErr)
+}
+
+func (c *Client) send(typ byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.conn, typ, payload)
+}
+
+// unary sends one request and waits for its single terminator frame.
+func (c *Client) unary(ctx context.Context, typ byte, body []byte) (respFrame, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return respFrame{}, err
+	}
+	defer c.unregister(id)
+	payload := make([]byte, 4+len(body))
+	putU32(payload, id)
+	copy(payload[4:], body)
+	if err := c.send(typ, payload); err != nil {
+		return respFrame{}, err
+	}
+	select {
+	case fr, ok := <-ch:
+		if !ok {
+			return respFrame{}, c.connErr()
+		}
+		return fr, nil
+	case <-ctx.Done():
+		return respFrame{}, ctx.Err()
+	}
+}
+
+// expectOK decodes the msgOK / msgErr terminator of a write operation.
+func expectOK(fr respFrame) (uint64, error) {
+	switch fr.typ {
+	case msgOK:
+		if len(fr.body) < 8 {
+			return 0, errShortFrame
+		}
+		return getU64(fr.body), nil
+	case msgErr:
+		return 0, decodeErr(fr.body)
+	}
+	return 0, fmt.Errorf("flatserve: unexpected frame type 0x%02x", fr.typ)
+}
+
+func decodeErr(body []byte) error {
+	if len(body) < 1 {
+		return errShortFrame
+	}
+	return errFor(body[0], string(body[1:]))
+}
+
+// QueryOptions tune one remote query.
+type QueryOptions struct {
+	// Limit stops the query after this many results (0: unlimited); the
+	// server-side crawl aborts early, exactly like flat.WithLimit.
+	Limit int
+	// Prefetch crawls up to this many shards concurrently on the server
+	// (sharded index only), like flat.WithShardPrefetch.
+	Prefetch int
+}
+
+func (c *Client) sendQuery(kind byte, box flat.MBR, o QueryOptions) (uint32, chan respFrame, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return 0, nil, err
+	}
+	body := make([]byte, 4+1+48+4+1)
+	putU32(body, id)
+	body[4] = kind
+	putBox(body[5:], box)
+	putU32(body[53:], uint32(o.Limit))
+	if o.Prefetch > 255 {
+		o.Prefetch = 255
+	}
+	body[57] = byte(o.Prefetch)
+	if err := c.send(msgQuery, body); err != nil {
+		c.unregister(id)
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+// Range starts a streaming range query. Results arrive incrementally
+// through the returned Stream; an admission rejection surfaces as
+// flat.ErrBusy on the first Next (or from All's error position).
+func (c *Client) Range(ctx context.Context, box flat.MBR, o QueryOptions) (*Stream, error) {
+	id, ch, err := c.sendQuery(kindRange, box, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{c: c, ctx: ctx, id: id, ch: ch}, nil
+}
+
+// Count runs a count query: the crawl happens server-side, only the
+// count and its page-read stats travel back.
+func (c *Client) Count(ctx context.Context, box flat.MBR, o QueryOptions) (uint64, flat.QueryStats, error) {
+	id, ch, err := c.sendQuery(kindCount, box, o)
+	if err != nil {
+		return 0, flat.QueryStats{}, err
+	}
+	defer c.unregister(id)
+	select {
+	case fr, ok := <-ch:
+		if !ok {
+			return 0, flat.QueryStats{}, c.connErr()
+		}
+		switch fr.typ {
+		case msgDone:
+			if len(fr.body) < 8+48 {
+				return 0, flat.QueryStats{}, errShortFrame
+			}
+			st := getQueryStats(fr.body[8:])
+			n := getU64(fr.body)
+			st.Results = int(n)
+			return n, st, nil
+		case msgErr:
+			//lint:ignore statsonerr the crawl ran server-side; its stats travel only in the done frame, so there are no partial stats here
+			return 0, flat.QueryStats{}, decodeErr(fr.body)
+		}
+		//lint:ignore statsonerr the crawl ran server-side; its stats travel only in the done frame, so there are no partial stats here
+		return 0, flat.QueryStats{}, fmt.Errorf("flatserve: unexpected frame type 0x%02x", fr.typ)
+	case <-ctx.Done():
+		c.cancel(id)
+		//lint:ignore statsonerr the crawl ran server-side; its stats travel only in the done frame, so there are no partial stats here
+		return 0, flat.QueryStats{}, ctx.Err()
+	}
+}
+
+// Insert stages elements into the sharded index's delta and flushes
+// its write-ahead log; when Insert returns nil the write is durable
+// (it survives kill -9 and is replayed on the next open).
+func (c *Client) Insert(ctx context.Context, els []flat.Element) error {
+	body := make([]byte, 4+len(els)*elementWire)
+	putU32(body, uint32(len(els)))
+	for i, e := range els {
+		putElement(body[4+i*elementWire:], e)
+	}
+	fr, err := c.unary(ctx, msgInsert, body)
+	if err != nil {
+		return err
+	}
+	_, err = expectOK(fr)
+	return err
+}
+
+// Delete stages the removal of one element (identified by its full
+// id+box pair, like flat.StageDelete) and flushes the WAL.
+func (c *Client) Delete(ctx context.Context, id uint64, box flat.MBR) error {
+	body := make([]byte, elementWire)
+	putElement(body, flat.Element{ID: id, Box: box})
+	fr, err := c.unary(ctx, msgDelete, body)
+	if err != nil {
+		return err
+	}
+	_, err = expectOK(fr)
+	return err
+}
+
+// Flush forces a WAL flush of previously staged updates.
+func (c *Client) Flush(ctx context.Context) error {
+	fr, err := c.unary(ctx, msgFlush, nil)
+	if err != nil {
+		return err
+	}
+	_, err = expectOK(fr)
+	return err
+}
+
+// Rebuild folds the staged delta into the bulkloaded pages; it returns
+// the number of shards rebuilt, or flat.ErrBusy under in-flight
+// queries (the caller retries, exactly as in-process).
+func (c *Client) Rebuild(ctx context.Context) (int, error) {
+	fr, err := c.unary(ctx, msgRebuild, nil)
+	if err != nil {
+		return 0, err
+	}
+	n, err := expectOK(fr)
+	return int(n), err
+}
+
+// Stats fetches the server's admin view.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	fr, err := c.unary(ctx, msgStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch fr.typ {
+	case msgStatsResp:
+		st := new(ServerStats)
+		if err := json.Unmarshal(fr.body, st); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case msgErr:
+		return nil, decodeErr(fr.body)
+	}
+	return nil, fmt.Errorf("flatserve: unexpected frame type 0x%02x", fr.typ)
+}
+
+// cancel asks the server to stop a request. Best effort: the response
+// race is handled by the stream's terminator handling.
+func (c *Client) cancel(id uint32) {
+	payload := make([]byte, 4)
+	putU32(payload, id)
+	c.send(msgCancel, payload)
+}
+
+// Stream is one in-flight range query. Not safe for concurrent use.
+type Stream struct {
+	c   *Client
+	ctx context.Context
+	id  uint32
+
+	ch    chan respFrame
+	buf   []byte // undecoded remainder of the current msgElems batch
+	n     int    // elements left in buf
+	done  bool
+	count uint64
+	stats flat.QueryStats
+	err   error
+}
+
+// Next returns the next element. ok is false when the stream is
+// finished — by completion, error or cancellation; Err and Stats are
+// valid from then on.
+func (s *Stream) Next() (flat.Element, bool) {
+	for {
+		if s.n > 0 {
+			e := getElement(s.buf)
+			s.buf = s.buf[elementWire:]
+			s.n--
+			return e, true
+		}
+		if s.done {
+			return flat.Element{}, false
+		}
+		select {
+		case fr, ok := <-s.ch:
+			if !ok {
+				s.finish(s.c.connErr())
+				return flat.Element{}, false
+			}
+			switch fr.typ {
+			case msgElems:
+				if len(fr.body) < 4 {
+					s.finish(errShortFrame)
+					return flat.Element{}, false
+				}
+				n := int(getU32(fr.body))
+				if len(fr.body) != 4+n*elementWire {
+					s.finish(errShortFrame)
+					return flat.Element{}, false
+				}
+				s.buf, s.n = fr.body[4:], n
+			case msgDone:
+				if len(fr.body) < 8+48 {
+					s.finish(errShortFrame)
+					return flat.Element{}, false
+				}
+				s.count = getU64(fr.body)
+				s.stats = getQueryStats(fr.body[8:])
+				s.stats.Results = int(s.count)
+				s.finish(nil)
+				return flat.Element{}, false
+			case msgErr:
+				s.finish(decodeErr(fr.body))
+				return flat.Element{}, false
+			default:
+				s.finish(fmt.Errorf("flatserve: unexpected frame type 0x%02x", fr.typ))
+				return flat.Element{}, false
+			}
+		case <-s.ctx.Done():
+			s.c.cancel(s.id)
+			s.abandon(s.ctx.Err())
+			return flat.Element{}, false
+		}
+	}
+}
+
+// abandon detaches the consumer from a stream it quit early (context
+// cancellation): a background drainer keeps pulling the stream's
+// channel until the server's terminator arrives, so the connection's
+// demultiplexing reader — which sends blocking — can never wedge on a
+// channel nobody reads, then retires the request id.
+func (s *Stream) abandon(err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.err = err
+	ch, c, id := s.ch, s.c, s.id
+	go func() {
+		for fr := range ch {
+			if fr.typ == msgDone || fr.typ == msgErr {
+				break
+			}
+		}
+		c.unregister(id)
+	}()
+}
+
+func (s *Stream) finish(err error) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.err = err
+	s.c.unregister(s.id)
+}
+
+// Cancel sends a Cancel frame for this stream. The server stops the
+// crawl between page reads and terminates the stream with a
+// context.Canceled error (observed via Err after Next returns false) —
+// unless completion won the race, in which case the stream ends
+// normally.
+func (s *Stream) Cancel() {
+	if !s.done {
+		s.c.cancel(s.id)
+	}
+}
+
+// All drains the stream as an iterator; the terminal error, if any,
+// arrives in the last pair, mirroring flat.Results.All.
+func (s *Stream) All() iter.Seq2[flat.Element, error] {
+	return func(yield func(flat.Element, error) bool) {
+		for {
+			e, ok := s.Next()
+			if !ok {
+				if s.err != nil {
+					yield(flat.Element{}, s.err)
+				}
+				return
+			}
+			if !yield(e, nil) {
+				s.Cancel()
+				// Drain to the terminator so the request id retires and
+				// late frames are not misrouted to a future request.
+				for {
+					if _, ok := s.Next(); !ok {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Err returns the stream's terminal error: nil after clean completion,
+// a wrapped flat.ErrBusy after an admission rejection, a wrapped
+// context.Canceled after cancellation.
+func (s *Stream) Err() error { return s.err }
+
+// Count returns the server-reported result count (valid after the
+// stream ends cleanly).
+func (s *Stream) Count() uint64 { return s.count }
+
+// Stats returns the query's page-read statistics (valid after the
+// stream ends cleanly).
+func (s *Stream) Stats() flat.QueryStats { return s.stats }

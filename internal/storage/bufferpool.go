@@ -41,6 +41,11 @@ func NewBufferPool(pager Pager, capacity int) *BufferPool {
 // Pager returns the underlying pager.
 func (b *BufferPool) Pager() Pager { return b.pager }
 
+// Advise is a no-op: the BufferPool is the deterministic methodology
+// pool, and prefetch hints would make its behaviour depend on kernel
+// timing. Serving paths that want hints use ConcurrentPool.
+func (b *BufferPool) Advise(PageID) {}
+
 // Alloc allocates a new page through the underlying pager. The new page is
 // not cached (it is all zeroes).
 func (b *BufferPool) Alloc(cat Category) (PageID, error) {

@@ -120,6 +120,16 @@ type FramePager interface {
 // serve the requested page without a copy.
 var ErrNoFrame = errors.New("storage: page has no addressable frame")
 
+// Adviser is implemented by pagers that can hint the OS that a page is
+// about to be read (MmapPager issues madvise(MADV_WILLNEED); the shard
+// wrappers forward). Advise is purely advisory: it never fails, never
+// blocks on I/O, and a pager that cannot act on the hint simply ignores
+// it. The crawl phase calls it for pages it has just enqueued, so the
+// kernel can fault them in while earlier pages are still being decoded.
+type Adviser interface {
+	Advise(id PageID)
+}
+
 // pageFrame returns an aliased frame for page id when pg supports one.
 // Any error means "use ReadPage instead" — out-of-range ids surface
 // their error through that fallback.

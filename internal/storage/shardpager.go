@@ -144,6 +144,19 @@ func (v *ShardView) Frame(id PageID) ([]byte, error) {
 	return nil, ErrNoFrame
 }
 
+// Advise implements Adviser when the wrapped pager does; otherwise the
+// hint is dropped. Ids outside this view's shard are ignored (the hint
+// is advisory; the later read reports the error).
+func (v *ShardView) Advise(id PageID) {
+	local, err := v.local(id)
+	if err != nil {
+		return
+	}
+	if a, ok := v.sub.(Adviser); ok {
+		a.Advise(local)
+	}
+}
+
 // NumPages implements Pager with the wrapped pager's page count. Note
 // that tagged ids do not run 0..NumPages()-1 for shards > 0; callers
 // locating a shard's superblock combine this with ShardPageID.
@@ -259,6 +272,19 @@ func (m *MultiPager) Frame(id PageID) ([]byte, error) {
 	return nil, ErrNoFrame
 }
 
+// Advise implements Adviser, forwarding the hint to the shard's
+// sub-pager when it supports one (a mix of mmap and file shards works:
+// hints for file-backed shards are dropped).
+func (m *MultiPager) Advise(id PageID) {
+	sub, local, err := m.route(id)
+	if err != nil {
+		return
+	}
+	if a, ok := sub.(Adviser); ok {
+		a.Advise(local)
+	}
+}
+
 // Swap replaces the sub-pager serving shard and returns the previous
 // one for the caller to close. It exists for the per-shard rebuild
 // path: a rebuilt shard's new page file is spliced in without touching
@@ -316,4 +342,6 @@ var (
 	_ CategorySetter = (*MultiPager)(nil)
 	_ FramePager     = (*ShardView)(nil)
 	_ FramePager     = (*MultiPager)(nil)
+	_ Adviser        = (*ShardView)(nil)
+	_ Adviser        = (*MultiPager)(nil)
 )

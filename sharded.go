@@ -425,6 +425,15 @@ func (sx *ShardedIndex) World() MBR { defer sx.guard.view()(); return sx.set.Wor
 // SizeBytes returns the on-disk footprint across all shards.
 func (sx *ShardedIndex) SizeBytes() uint64 { defer sx.guard.view()(); return sx.set.SizeBytes() }
 
+// CacheStats reports the occupancy of the page cache shared by all
+// shards: frames currently held and the configured global budget
+// (capacity <= 0: unbounded), as Index.CacheStats.
+func (sx *ShardedIndex) CacheStats() (cached, capacity int) {
+	defer sx.guard.view()()
+	pool := sx.set.Pool()
+	return pool.Len(), pool.Capacity()
+}
+
 // DropCache empties the shared page cache so the next query starts
 // cold. Like Index.DropCache it returns ErrBusy while queries are in
 // flight and ErrClosed after Close.
