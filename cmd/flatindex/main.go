@@ -12,6 +12,7 @@
 //	flatindex -data brain.flte -query "1,2,3,8,9,10"
 //	flatindex -data brain.flte -index brain.idx -stats
 //	flatindex -data brain.flte -point "5,5,5"
+//	flatindex -data brain.flte -nn "5,5,5" -k 20
 //	flatindex -data brain.flte -compare -query "0,0,0,4,4,4"
 //	flatindex -data brain.flte -shards 4 -index brain.shards -stats
 //	flatindex -data brain.flte -shards 4 -index brain.shards -insert delta.flte -rebuild
@@ -28,6 +29,11 @@
 // -prefetch P crawls up to P surviving shards concurrently into
 // bounded buffers (flat.WithShardPrefetch) without changing the
 // result order.
+//
+// -nn "x,y,z" runs a k-nearest-neighbor query: the -k closest elements
+// stream back in nondecreasing distance from the point (best-first
+// traversal, so a small k reads far fewer pages than draining and
+// sorting). -k 0 streams the entire index in distance order.
 //
 // A sharded index accepts updates between bulkloads: -insert stages
 // the elements of another element file, -delete stages removals by
@@ -75,6 +81,8 @@ func main() {
 		index    = flag.String("index", "", "optional page-file path; empty keeps the index in memory")
 		query    = flag.String("query", "", "range query 'x1,y1,z1,x2,y2,z2'")
 		point    = flag.String("point", "", "point query 'x,y,z'")
+		nn       = flag.String("nn", "", "k-nearest-neighbor query point 'x,y,z'; results stream in nondecreasing distance")
+		k        = flag.Int("k", 10, "result count for -nn (0: stream the whole index in distance order)")
 		stats    = flag.Bool("stats", false, "print index statistics")
 		compare  = flag.Bool("compare", false, "also run the query on the three R-tree baselines")
 		limit    = flag.Int("limit", 0, "stop the query after this many results (0: unlimited); the crawl aborts early, saving page reads")
@@ -308,6 +316,36 @@ func main() {
 		}
 	}
 
+	const maxPrint = 10
+
+	// k-nearest-neighbor query: the -k closest elements stream back in
+	// nondecreasing distance, and the page reads reflect the best-first
+	// traversal's pruning — not a full drain's cost.
+	if *nn != "" {
+		c, err := parseFloats(*nn, 3)
+		if err != nil {
+			fatalf("bad -nn: %v", err)
+		}
+		p := flat.V(c[0], c[1], c[2])
+		session := ix.NN(context.Background(), p, *k)
+		count := 0
+		for e, err := range session.All() {
+			if err != nil {
+				fatalf("nn: %v", err)
+			}
+			if count < maxPrint {
+				fmt.Printf("  element %d dist %.4f %v\n", e.ID, e.Box.DistToPoint(p), e.Box)
+			} else if count == maxPrint {
+				fmt.Printf("  ...\n")
+			}
+			count++
+		}
+		qs := session.Stats()
+		fmt.Printf("nn %v: %d nearest (k=%d)\n", p, count, *k)
+		fmt.Printf("  page reads: %d total (%d seed + %d metadata + %d object)\n",
+			qs.TotalReads, qs.SeedReads, qs.MetadataReads, qs.ObjectReads)
+	}
+
 	var q flat.MBR
 	haveQuery := false
 	switch {
@@ -335,7 +373,6 @@ func main() {
 	// aborts as soon as enough results have been delivered, so the page
 	// reads below reflect the work actually performed, not the full
 	// result's cost.
-	const maxPrint = 10
 	opts := []flat.QueryOption{flat.WithLimit(*limit)}
 	if *prefetch > 0 {
 		if _, ok := ix.(*flat.ShardedIndex); !ok {

@@ -23,6 +23,7 @@
 //	flatserve -addr :4077 -query "1,2,3,8,9,10" -limit 100
 //	flatserve -addr :4077 -query "1,2,3,8,9,10" -count
 //	flatserve -addr :4077 -point "5,5,5"
+//	flatserve -addr :4077 -nn "5,5,5" -k 20
 //	flatserve -addr :4077 -insert delta.flte
 //	flatserve -addr :4077 -delete "17,1,2,3,4,5,6"
 //	flatserve -addr :4077 -flush
@@ -61,6 +62,8 @@ func main() {
 
 		query    = flag.String("query", "", "client: range query 'x1,y1,z1,x2,y2,z2'")
 		point    = flag.String("point", "", "client: point query 'x,y,z'")
+		nn       = flag.String("nn", "", "client: k-nearest-neighbor query point 'x,y,z'; results stream in nondecreasing distance")
+		kNN      = flag.Int("k", 10, "client: result count for -nn (0: stream the whole index in distance order)")
 		count    = flag.Bool("count", false, "client: count instead of streaming the elements")
 		limit    = flag.Int("limit", 0, "client: stop the query after this many results (0: unlimited)")
 		cancelN  = flag.Int("cancel-after", 0, "client: cancel the stream after this many results (exercises the wire cancel)")
@@ -84,6 +87,7 @@ func main() {
 	}
 	runClient(*addr, clientOps{
 		query: *query, point: *point, count: *count,
+		nn: *nn, k: *kNN,
 		limit: *limit, prefetch: *prefetch, cancelAfter: *cancelN,
 		insert: *insert, del: *del,
 		flush: *flush, rebuild: *rebuild, stats: *stats,
@@ -156,6 +160,8 @@ func runServer(index, addr string, mmap, wal bool, cfg serve.Config) {
 
 type clientOps struct {
 	query, point string
+	nn           string
+	k            int
 	count        bool
 	limit        int
 	prefetch     int
@@ -167,9 +173,9 @@ type clientOps struct {
 }
 
 func runClient(addr string, ops clientOps) {
-	if ops.query == "" && ops.point == "" && ops.insert == "" && ops.del == "" &&
+	if ops.query == "" && ops.point == "" && ops.nn == "" && ops.insert == "" && ops.del == "" &&
 		!ops.flush && !ops.rebuild && !ops.stats {
-		fatalf("nothing to do: pass -index to serve, or a client operation (-query, -point, -insert, -delete, -flush, -rebuild, -stats); see -help")
+		fatalf("nothing to do: pass -index to serve, or a client operation (-query, -point, -nn, -insert, -delete, -flush, -rebuild, -stats); see -help")
 	}
 	c, err := serve.Dial(addr)
 	if err != nil {
@@ -277,6 +283,44 @@ func runClient(addr string, ops clientOps) {
 				fmt.Printf("query %v: %d results\n", q, n)
 				printQueryStats(stream.Stats())
 			}
+		}
+	}
+
+	if ops.nn != "" {
+		co, err := parseFloats(ops.nn, 3)
+		if err != nil {
+			fatalf("bad -nn: %v", err)
+		}
+		p := flat.V(co[0], co[1], co[2])
+		stream, err := c.NN(ctx, p, ops.k)
+		if err != nil {
+			fatalf("nn: %v", err)
+		}
+		const maxPrint = 10
+		n := 0
+		cancelled := false
+		for e, err := range stream.All() {
+			if err != nil {
+				fatalf("nn: %v", err)
+			}
+			if n < maxPrint {
+				// The distance never travels: the box carries full precision,
+				// so the client recomputes it exactly.
+				fmt.Printf("  element %d dist %.4f %v\n", e.ID, e.Box.DistToPoint(p), e.Box)
+			} else if n == maxPrint {
+				fmt.Printf("  ...\n")
+			}
+			n++
+			if ops.cancelAfter > 0 && n == ops.cancelAfter {
+				cancelled = true
+				break
+			}
+		}
+		if cancelled {
+			fmt.Printf("nn %v: cancelled after %d results (-cancel-after)\n", p, n)
+		} else {
+			fmt.Printf("nn %v: %d nearest (k=%d)\n", p, n, ops.k)
+			printQueryStats(stream.Stats())
 		}
 	}
 

@@ -7,7 +7,11 @@
 // This example generates a synthetic cortical microcircuit, builds a
 // FLAT index and a Priority R-tree over it, then walks one neuron's
 // axon/dendrite path issuing proximity queries, counting touch
-// candidates and comparing the page reads of the two indexes.
+// candidates and comparing the page reads of the two indexes. It then
+// re-runs the same proximity detection as a single crawl-to-crawl
+// spatial join — flat.Join streaming neuron 0's segments against the
+// whole circuit — and finishes with a streaming k-NN query: the
+// nearest segments to an electrode tip, in nondecreasing distance.
 //
 // Run with:
 //
@@ -15,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -90,4 +95,52 @@ func main() {
 	if flatReads < prReads {
 		fmt.Printf("  FLAT reads %.1fx fewer pages\n", float64(prReads)/float64(flatReads))
 	}
+
+	// The same question as a spatial join: every (segment of neuron 0,
+	// segment of another neuron) pair within the touch radius, in one
+	// block-nested crawl-to-crawl pass instead of a query per fiber
+	// point. The outer side is the one neuron — small and drained once;
+	// the inner side answers pruned neighborhood probes.
+	fmt.Printf("proximity detection as a spatial join (radius %.1f µm)\n", radius)
+	var mine []flat.Element
+	for _, e := range model.Elements {
+		if model.NeuronOf[e.ID] == 0 {
+			mine = append(mine, e)
+		}
+	}
+	outer, err := flat.Build(append([]flat.Element(nil), mine...), &flat.Options{World: model.Volume})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer outer.Close()
+	ix.DropCache()
+	pairs := 0
+	jst, err := flat.Join(context.Background(), outer, ix, radius,
+		// The box filter admits same-neuron contacts too; the predicate
+		// keeps only pairs that leap between neurons.
+		func(a, b flat.Element) bool { return model.NeuronOf[b.ID] != 0 },
+		func(a, b flat.Element) bool { pairs++; return true })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d segments of neuron 0 joined against %d: %d touch pairs\n",
+		len(mine), len(model.Elements), pairs)
+	fmt.Printf("  %d inner probes, %d page reads (outer %d + inner %d)\n",
+		jst.Blocks, jst.Outer.TotalReads+jst.Inner.TotalReads,
+		jst.Outer.TotalReads, jst.Inner.TotalReads)
+
+	// Streaming k-NN: the segments nearest an electrode tip, emitted in
+	// nondecreasing distance — the best-first crawl reads only the pages
+	// the k results need.
+	tip := flat.V(side/2, side/2, side)
+	fmt.Printf("5 segments nearest an electrode tip at %v\n", tip)
+	ix.DropCache()
+	nn := ix.NN(context.Background(), tip, 5)
+	for e, err := range nn.All() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  element %d (neuron %d) at %.3f µm\n", e.ID, model.NeuronOf[e.ID], e.Box.DistToPoint(tip))
+	}
+	fmt.Printf("  %d page reads\n", nn.Stats().TotalReads)
 }

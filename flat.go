@@ -147,6 +147,10 @@ type Querier interface {
 	// Query starts a cancellable, streaming query session; see
 	// Index.Query for the semantics shared by both implementations.
 	Query(ctx context.Context, q MBR, opts ...QueryOption) *Results
+	// NN starts a streaming k-nearest-neighbor session: the k indexed
+	// elements nearest to p, delivered in nondecreasing distance; see
+	// Index.NN for the semantics shared by both implementations.
+	NN(ctx context.Context, p Vec3, k int, opts ...QueryOption) *Results
 	// RangeQuery returns every indexed element intersecting q.
 	RangeQuery(q MBR) ([]Element, QueryStats, error)
 	// CountQuery counts elements intersecting q without materializing.

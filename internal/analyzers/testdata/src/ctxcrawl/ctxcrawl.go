@@ -101,3 +101,82 @@ func notARead(ids []PageID) int {
 	}
 	return n
 }
+
+// --- priority-frontier shapes: the loop body never touches the pager
+// directly; the reads happen one call deep, in same-package helpers.
+
+type frontierItem struct {
+	id   PageID
+	dist float64
+}
+
+type frontier struct {
+	items []frontierItem
+	p     pool
+}
+
+func (h *frontier) len() int { return len(h.items) }
+
+func (h *frontier) popMin() frontierItem {
+	it := h.items[0]
+	h.items = h.items[1:]
+	return it
+}
+
+// resolve reads the popped item's page — a direct pager read, making
+// resolve a read helper and its callers' loops crawls.
+func (h *frontier) resolve(it frontierItem) ([]byte, error) {
+	return h.p.Read(it.id)
+}
+
+// popLoopNoCtx is the best-first pop loop without a context: every
+// iteration costs a page read through resolve, so it must be reported
+// even though no pager call appears in the loop body.
+func popLoopNoCtx(h *frontier) error {
+	for h.len() > 0 { // want `loop performs pager reads but never consults a context`
+		it := h.popMin()
+		if _, err := h.resolve(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// popLoopCtx is the same shape consulting ctx.Err() between pops.
+func popLoopCtx(ctx context.Context, h *frontier) error {
+	for h.len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		it := h.popMin()
+		if _, err := h.resolve(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// popLoopNoReads pops without resolving: no helper in the body reads
+// pages, so there is nothing to report.
+func popLoopNoReads(h *frontier) float64 {
+	sum := 0.0
+	for h.len() > 0 {
+		sum += h.popMin().dist
+	}
+	return sum
+}
+
+// resolveTwice reads through resolve, which itself reads through the
+// pager — one level. readsTransitively calls resolveTwice: two levels
+// deep, deliberately out of scope (resolveTwice's own body has no
+// loop; its callers do not inherit the taint).
+func resolveTwice(h *frontier, it frontierItem) ([]byte, error) {
+	return h.resolve(it)
+}
+
+func readsTransitively(h *frontier) {
+	for h.len() > 0 {
+		it := h.popMin()
+		resolveTwice(h, it)
+	}
+}

@@ -26,7 +26,7 @@ func tinyConfig() Config {
 func TestExperimentsRegistryComplete(t *testing.T) {
 	want := []string{"ablation", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "fig19", "fig2", "fig20",
-		"fig21", "fig22", "fig23", "fig3", "fig4", "pagecodec", "serve",
+		"fig21", "fig22", "fig23", "fig3", "fig4", "nn", "pagecodec", "serve",
 		"shards", "staging", "streammerge", "throughput"}
 	got := Experiments()
 	if len(got) != len(want) {

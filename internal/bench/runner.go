@@ -361,6 +361,7 @@ var registry = map[string]func(*Runner) ([]*Table, error){
 	"shards":      (*Runner).shardsExperiment,
 	"streammerge": (*Runner).streamMerge,
 	"pagecodec":   (*Runner).pagecodec,
+	"nn":          (*Runner).nnExperiment,
 	"staging":     (*Runner).staging,
 	"serve":       (*Runner).serveExperiment,
 }

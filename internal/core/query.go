@@ -103,12 +103,13 @@ type seedItem struct {
 }
 
 // crawlScratch holds the reusable per-query state: the seed descent
-// stack plus the crawl's BFS queue and dedup maps. Allocating these maps
+// stack plus the crawl's frontier and dedup maps. Allocating these maps
 // fresh on every query is the dominant heap churn on the hot path, so
 // queries borrow a scratch from a sync.Pool and return it cleared.
 type crawlScratch struct {
 	stack    []seedItem
-	queue    []RecordRef
+	fifo     fifoFrontier   // range-crawl frontier (BFS order)
+	heap     heapFrontier   // best-first frontier (k-NN)
 	els      []geom.Element // object-page decode buffer
 	enqueued map[RecordRef]bool
 	visited  map[storage.PageID]bool
@@ -129,7 +130,8 @@ func (sc *crawlScratch) release() {
 	clear(sc.enqueued)
 	clear(sc.visited)
 	sc.stack = sc.stack[:0]
-	sc.queue = sc.queue[:0]
+	sc.fifo.reset()
+	sc.heap.reset()
 	sc.els = sc.els[:0]
 	scratchPool.Put(sc)
 }
@@ -263,24 +265,33 @@ func (eng *Engine) objectPageHasHit(id storage.PageID, q geom.MBR, sc *crawlScra
 	return false, nil
 }
 
-// crawl is the paper's Algorithm 2: a breadth-first search over the
-// neighborhood pointers starting from the seed record. An object page is
-// read only when the record's page MBR intersects the query; a record's
-// neighbors are expanded only when its partition MBR does. Each record
-// and each object page is visited at most once. emit returning false
-// stops the BFS cleanly (no error); a done ctx aborts it with ctx.Err().
+// crawl is the paper's Algorithm 2: a search over the neighborhood
+// pointers starting from the seed record, in the order the frontier
+// dictates — FIFO here, which makes it the paper's breadth-first walk.
+// An object page is read only when the record's page MBR intersects the
+// query; a record's neighbors are expanded only when its partition MBR
+// does. Each record and each object page is visited at most once. emit
+// returning false stops the crawl cleanly (no error); a done ctx aborts
+// it with ctx.Err().
 func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit func(geom.Element) bool, st *QueryStats, sc *crawlScratch, local *storage.Stats) error {
-	sc.queue = append(sc.queue[:0], start)
+	// The FIFO frontier replays pushes in order, so the page-read
+	// sequence is byte-identical to the pre-seam queue-and-head loop:
+	// range-query results and read counts are a regression gate for
+	// this refactor.
+	var f frontier[RecordRef] = &sc.fifo
+	sc.fifo.reset()
+	f.push(start)
 	sc.enqueued[start] = true
 	defer func() { st.PagesVisited = len(sc.visited) }()
 
-	// The queue is consumed by index so its backing array survives into
-	// the next query via the scratch pool.
-	for head := 0; head < len(sc.queue); head++ {
+	for {
+		ref, ok := f.pop()
+		if !ok {
+			return nil
+		}
 		if err := ctxErr(ctx); err != nil {
 			return err
 		}
-		ref := sc.queue[head]
 		page, err := eng.pool.ReadInto(ref.Page(), local)
 		if err != nil {
 			return err
@@ -314,7 +325,7 @@ func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit 
 			for _, n := range m.Neighbors {
 				if !sc.enqueued[n] {
 					sc.enqueued[n] = true
-					sc.queue = append(sc.queue, n)
+					f.push(n)
 					// The record will be read a few BFS steps from now;
 					// hint the pager so a memory-mapped index can fault
 					// the page in while this record is still being
@@ -342,7 +353,7 @@ func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit 
 				for _, n := range ov.Neighbors {
 					if !sc.enqueued[n] {
 						sc.enqueued[n] = true
-						sc.queue = append(sc.queue, n)
+						f.push(n)
 						eng.pool.Advise(n.Page())
 					}
 				}
@@ -350,7 +361,6 @@ func (eng *Engine) crawl(ctx context.Context, q geom.MBR, start RecordRef, emit 
 			}
 		}
 	}
-	return nil
 }
 
 // CrawlFrom executes the crawl phase from an explicit start record; it

@@ -179,6 +179,54 @@ func (m MBR) LongestAxis() int {
 	return 2
 }
 
+// DistSqToPoint returns the squared Euclidean distance from p to the
+// nearest point of m (0 when p is inside m). This is the "mindist" of
+// the k-NN literature; callers compare squared distances to avoid a
+// sqrt per candidate. An empty box is infinitely far away.
+func (m MBR) DistSqToPoint(p Vec3) float64 {
+	if m.Empty() {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := 0; i < 3; i++ {
+		v := p.Axis(i)
+		if lo := m.Min.Axis(i); v < lo {
+			d += (lo - v) * (lo - v)
+		} else if hi := m.Max.Axis(i); v > hi {
+			d += (v - hi) * (v - hi)
+		}
+	}
+	return d
+}
+
+// DistToPoint returns the Euclidean distance from p to the nearest
+// point of m (0 when p is inside m).
+func (m MBR) DistToPoint(p Vec3) float64 {
+	return math.Sqrt(m.DistSqToPoint(p))
+}
+
+// DistSq returns the squared Euclidean distance between the nearest
+// pair of points of m and o (0 when the boxes intersect). An empty box
+// is infinitely far from everything.
+func (m MBR) DistSq(o MBR) float64 {
+	if m.Empty() || o.Empty() {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := 0; i < 3; i++ {
+		if g := o.Min.Axis(i) - m.Max.Axis(i); g > 0 {
+			d += g * g
+		} else if g := m.Min.Axis(i) - o.Max.Axis(i); g > 0 {
+			d += g * g
+		}
+	}
+	return d
+}
+
+// Dist returns the Euclidean distance between the nearest pair of
+// points of m and o (0 when the boxes intersect).
+func (m MBR) Dist(o MBR) float64 { return math.Sqrt(m.DistSq(o)) }
+
 // String implements fmt.Stringer.
 func (m MBR) String() string {
 	return fmt.Sprintf("[%v - %v]", m.Min, m.Max)

@@ -171,6 +171,71 @@ func TestIntersectionProperties(t *testing.T) {
 	}
 }
 
+func TestDistToPoint(t *testing.T) {
+	b := Box(V(0, 0, 0), V(2, 2, 2))
+	cases := []struct {
+		p    Vec3
+		want float64
+	}{
+		{V(1, 1, 1), 0},           // inside
+		{V(2, 2, 2), 0},           // corner
+		{V(3, 1, 1), 1},           // off one face
+		{V(3, 3, 1), 2},           // off one edge
+		{V(3, 3, 3), 3},           // off one corner
+		{V(-2, 1, 1), 4},          // negative side
+		{V(-1, -1, 3), 1 + 1 + 1}, // mixed axes
+	}
+	for _, c := range cases {
+		if got := b.DistSqToPoint(c.p); !almostEq(got, c.want) {
+			t.Errorf("DistSqToPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := EmptyMBR().DistSqToPoint(V(0, 0, 0)); !(got > 1e300) {
+		t.Errorf("empty box DistSqToPoint = %v, want +Inf", got)
+	}
+}
+
+func TestDistBoxToBox(t *testing.T) {
+	a := Box(V(0, 0, 0), V(1, 1, 1))
+	if got := a.DistSq(Box(V(0.5, 0.5, 0.5), V(2, 2, 2))); got != 0 {
+		t.Errorf("overlapping DistSq = %v, want 0", got)
+	}
+	if got := a.DistSq(Box(V(1, 0, 0), V(2, 1, 1))); got != 0 {
+		t.Errorf("touching DistSq = %v, want 0", got)
+	}
+	if got := a.DistSq(Box(V(3, 0, 0), V(4, 1, 1))); !almostEq(got, 4) {
+		t.Errorf("face gap DistSq = %v, want 4", got)
+	}
+	if got := a.DistSq(Box(V(2, 2, 2), V(3, 3, 3))); !almostEq(got, 3) {
+		t.Errorf("corner gap DistSq = %v, want 3", got)
+	}
+}
+
+// Property: DistSqToPoint agrees with the brute-force distance to the
+// clamped point, is 0 iff the point is inside, and a box-to-box
+// distance never exceeds a point-to-box distance for a contained point.
+func TestDistProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		b := randBox(r)
+		p := V(r.Float64()*140-70, r.Float64()*140-70, r.Float64()*140-70)
+		clamped := p.Max(b.Min).Min(b.Max)
+		if !almostEq(b.DistSqToPoint(p), p.Sub(clamped).Len2()) {
+			t.Fatal("DistSqToPoint disagrees with clamp")
+		}
+		if (b.DistSqToPoint(p) == 0) != b.ContainsPoint(p) {
+			t.Fatal("zero distance inconsistent with containment")
+		}
+		o := randBox(r)
+		if b.Contains(PointBox(p)) && o.DistSq(b) > o.DistSqToPoint(p) {
+			t.Fatal("box-to-box distance exceeds distance to contained point")
+		}
+		if (b.DistSq(o) == 0) != b.Intersects(o) {
+			t.Fatal("zero box distance inconsistent with Intersects")
+		}
+	}
+}
+
 // Property (via testing/quick): for any two points, Box(a,b) contains both
 // corner points and has non-negative volume.
 func TestBoxQuick(t *testing.T) {

@@ -35,6 +35,27 @@ func NewDynTree(pool storage.Pool, cfg Config) *DynTree {
 // Len returns the number of inserted elements.
 func (t *DynTree) Len() int { return t.count }
 
+// Reset empties the tree for a new epoch while keeping its pool. When
+// the pool's backing pager supports Truncate (MemPager does), the page
+// slabs are retained and reused by the next build — the staged-delta
+// trees cycle through stage→rebuild→stage and would otherwise
+// re-allocate their whole node memory each epoch. Any Views taken
+// before Reset are invalidated; the caller must guarantee no concurrent
+// reader still probes them.
+func (t *DynTree) Reset() {
+	t.root = storage.InvalidPage
+	t.height = 0
+	t.count = 0
+	t.leafPages = 0
+	t.internalPages = 0
+	if tr, ok := t.pool.Pager().(interface{ Truncate() }); ok {
+		tr.Truncate()
+	}
+	// Drop cached frames for the recycled IDs (and stale stats with
+	// them); the next epoch's pages reuse the same IDs with new bytes.
+	t.pool.Reset()
+}
+
 // Height returns the number of levels (0 when empty).
 func (t *DynTree) Height() int { return t.height }
 

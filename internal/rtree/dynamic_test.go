@@ -166,3 +166,56 @@ func TestQuadraticSplitRespectsMinFill(t *testing.T) {
 		seen[e.Ref] = true
 	}
 }
+
+// Reset must empty the tree and, on a Truncate-capable pager, hand the
+// next epoch the same page slabs: repeated build→Reset→build cycles on
+// a MemPager-backed pool stop growing the retained slab set.
+func TestDynTreeResetReusesPages(t *testing.T) {
+	pager := storage.NewMemPager()
+	pool := storage.NewBufferPool(pager, 0)
+	dt := NewDynTree(pool, Config{})
+
+	build := func(seed int64) {
+		t.Helper()
+		els := randomElements(rand.New(rand.NewSource(seed)), 1500, worldBox())
+		for _, e := range els {
+			if err := dt.Insert(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	build(263)
+	retained := pager.Retained()
+	if retained == 0 {
+		t.Fatal("first epoch allocated no pages")
+	}
+
+	for epoch := 0; epoch < 3; epoch++ {
+		dt.Reset()
+		if dt.Len() != 0 || dt.Height() != 0 {
+			t.Fatalf("Reset left Len=%d Height=%d", dt.Len(), dt.Height())
+		}
+		if _, err := dt.View(); err != ErrEmpty {
+			t.Fatalf("View after Reset = %v, want ErrEmpty", err)
+		}
+		build(263)
+		// Identical input data must rebuild into exactly the recycled
+		// slabs: any growth means Reset leaked pages.
+		if pager.Retained() != retained {
+			t.Fatalf("epoch %d changed retained slabs: %d != %d", epoch, pager.Retained(), retained)
+		}
+		// The rebuilt tree must answer correctly on recycled pages.
+		view, err := dt.View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := geom.CubeAt(geom.V(50, 50, 50), 30)
+		got, err := view.RangeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatal("recycled-page tree returned no results")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package rtree
+
+import (
+	"flat/internal/geom"
+	"flat/internal/storage"
+)
+
+// nnItem is one pending unit of best-first traversal: either a node
+// page awaiting a read or a leaf entry awaiting its visit, keyed by the
+// squared distance from the query point to its box (a lower bound on
+// everything beneath a node, exact for an entry).
+type nnItem struct {
+	distSq float64
+	seq    uint64 // insertion order; tie-break keeps traversal deterministic
+	entry  bool
+	id     storage.PageID // !entry
+	el     geom.Element   // entry
+}
+
+// nnHeap is a plain binary min-heap on (distSq, seq).
+type nnHeap struct {
+	items []nnItem
+	seq   uint64
+}
+
+func (h *nnHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.distSq != b.distSq {
+		return a.distSq < b.distSq
+	}
+	return a.seq < b.seq
+}
+
+func (h *nnHeap) push(it nnItem) {
+	it.seq = h.seq
+	h.seq++
+	h.items = append(h.items, it)
+	for i := len(h.items) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *nnHeap) pop() (nnItem, bool) {
+	if len(h.items) == 0 {
+		return nnItem{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < last && h.less(left, smallest) {
+			smallest = left
+		}
+		if right < last && h.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}
+
+// NN visits the tree's elements in nondecreasing squared distance from
+// p (ties broken by discovery order), stopping early when visit returns
+// false. This is the classic best-first R-tree nearest-neighbor
+// traversal: a min-heap mixes node pages keyed by their box's distance
+// lower bound with leaf entries keyed exactly, so no node is read until
+// its bound actually surfaces and an entry is visited only once nothing
+// pending could beat it. The sharded index probes staged-delta trees
+// with it so k-NN results stay correct under pending writes.
+func (t *Tree) NN(p geom.Vec3, visit func(el geom.Element, distSq float64) bool) error {
+	if t.root == storage.InvalidPage || t.count == 0 {
+		return nil
+	}
+	var h nnHeap
+	h.items = make([]nnItem, 0, 64)
+	h.push(nnItem{id: t.root, distSq: 0})
+	entryBuf := make([]NodeEntry, 0, NodeCapacity)
+	//lint:ignore ctxcrawl in-memory delta-overlay probe; pages are heap-resident, never disk I/O
+	for {
+		it, ok := h.pop()
+		if !ok {
+			return nil
+		}
+		if it.entry {
+			if !visit(it.el, it.distSq) {
+				return nil
+			}
+			continue
+		}
+		page, err := t.pool.Read(it.id)
+		if err != nil {
+			return err
+		}
+		entryBuf = entryBuf[:0]
+		isLeaf, entries := DecodeNodeInto(page, entryBuf)
+		if isLeaf {
+			for _, e := range entries {
+				h.push(nnItem{
+					entry:  true,
+					el:     geom.Element{ID: e.Ref, Box: e.Box},
+					distSq: e.Box.DistSqToPoint(p),
+				})
+			}
+			continue
+		}
+		for _, e := range entries {
+			h.push(nnItem{
+				id:     storage.PageID(e.Ref),
+				distSq: e.Box.DistSqToPoint(p),
+			})
+		}
+	}
+}

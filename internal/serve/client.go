@@ -242,6 +242,35 @@ func (c *Client) Range(ctx context.Context, box flat.MBR, o QueryOptions) (*Stre
 	return &Stream{c: c, ctx: ctx, id: id, ch: ch}, nil
 }
 
+// NN starts a streaming k-nearest-neighbor query: the k indexed
+// elements nearest to p arrive through the Stream in nondecreasing
+// distance from p (k <= 0 streams the whole index in distance order).
+// The distance itself does not travel — element boxes carry full
+// precision, so callers recover it exactly with
+// e.Box.DistToPoint(p). Cancel (or a done ctx) aborts the server-side
+// traversal mid-stream.
+func (c *Client) NN(ctx context.Context, p flat.Vec3, k int) (*Stream, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, 4+24+4+1)
+	putU32(body, id)
+	putF64(body[4:], p.X)
+	putF64(body[12:], p.Y)
+	putF64(body[20:], p.Z)
+	if k < 0 {
+		k = 0
+	}
+	putU32(body[28:], uint32(k))
+	body[32] = 0 // flags, reserved
+	if err := c.send(msgNN, body); err != nil {
+		c.unregister(id)
+		return nil, err
+	}
+	return &Stream{c: c, ctx: ctx, id: id, ch: ch}, nil
+}
+
 // Count runs a count query: the crawl happens server-side, only the
 // count and its page-read stats travel back.
 func (c *Client) Count(ctx context.Context, box flat.MBR, o QueryOptions) (uint64, flat.QueryStats, error) {

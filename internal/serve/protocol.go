@@ -28,7 +28,11 @@
 //
 // Responses to one request are a sequence of zero or more streaming
 // frames (msgElems) closed by exactly one terminator (msgDone, msgOK,
-// msgStatsResp or msgErr). Backpressure is the connection itself: the
+// msgStatsResp or msgErr). A nearest-neighbor query (msgNN) streams
+// the same element frames, delivered in nondecreasing distance from
+// the query point; the distance itself does not travel — the boxes
+// carry full precision, so clients recompute it exactly with
+// Box.DistToPoint. Backpressure is the connection itself: the
 // server writes result batches as the crawl produces them and blocks
 // when the client stops reading, which stalls the crawl between page
 // reads — a slow consumer costs buffer space, not index throughput.
@@ -64,6 +68,7 @@ const (
 	msgFlush   = 0x05 // reqID u32
 	msgRebuild = 0x06 // reqID u32
 	msgStats   = 0x07 // reqID u32
+	msgNN      = 0x08 // reqID u32 | point 3×f64 | k u32 | flags u8 (reserved, 0)
 
 	msgElems     = 0x81 // reqID u32 | count u32 | count × element
 	msgDone      = 0x82 // reqID u32 | result count u64 | 6×u64 stats

@@ -54,6 +54,7 @@ func (c Config) withDefaults() Config {
 type Counters struct {
 	RangeQueries int64 // streaming range queries admitted
 	CountQueries int64 // count queries admitted
+	NNQueries    int64 // streaming nearest-neighbor queries admitted
 	Rejected     int64 // queries refused with flat.ErrBusy (admission)
 	Cancelled    int64 // queries stopped by Cancel frames or disconnects
 	Inserts      int64 // elements staged for insertion
@@ -102,6 +103,7 @@ type Server struct {
 
 	rangeQueries atomic.Int64
 	countQueries atomic.Int64
+	nnQueries    atomic.Int64
 	rejected     atomic.Int64
 	cancelled    atomic.Int64
 	inserts      atomic.Int64
@@ -204,6 +206,7 @@ func (s *Server) counters() Counters {
 	return Counters{
 		RangeQueries: s.rangeQueries.Load(),
 		CountQueries: s.countQueries.Load(),
+		NNQueries:    s.nnQueries.Load(),
 		Rejected:     s.rejected.Load(),
 		Cancelled:    s.cancelled.Load(),
 		Inserts:      s.inserts.Load(),
@@ -310,6 +313,8 @@ func (sc *srvConn) readLoop() {
 		switch typ {
 		case msgQuery:
 			sc.startQuery(reqID, body)
+		case msgNN:
+			sc.startNN(reqID, body)
 		case msgCancel:
 			// payload is the *target* request id.
 			sc.mu.Lock()
@@ -376,6 +381,37 @@ func (sc *srvConn) startQuery(reqID uint32, body []byte) {
 		sc.writeErr(reqID, fmt.Errorf("unknown query kind %d", kind))
 		return
 	}
+	sc.admit(reqID, func(qctx context.Context) {
+		sc.runQuery(qctx, reqID, kind, box, limit, prefetch)
+	})
+}
+
+// startNN parses a msgNN and runs the nearest-neighbor stream through
+// the same admission pipeline as startQuery.
+func (sc *srvConn) startNN(reqID uint32, body []byte) {
+	if len(body) != 24+4+1 {
+		sc.writeErr(reqID, fmt.Errorf("bad nn frame length %d", len(body)))
+		return
+	}
+	p := flat.V(getF64(body[0:]), getF64(body[8:]), getF64(body[16:]))
+	k := int(getU32(body[24:]))
+	if body[28] != 0 {
+		sc.writeErr(reqID, fmt.Errorf("unknown nn flags 0x%02x", body[28]))
+		return
+	}
+	sc.admit(reqID, func(qctx context.Context) {
+		sc.s.nnQueries.Add(1)
+		sc.streamSession(reqID, sc.s.ix.NN(qctx, p, k), true)
+	})
+}
+
+// admit runs one streaming request through the shared admission
+// pipeline — drain check, per-connection multiplex cap, cancellable
+// registration, then the global slot — and executes run on its own
+// goroutine, so the read loop stays responsive to Cancel frames while
+// the traversal streams. Admission and registration both happen in one
+// lexical scope with their releases.
+func (sc *srvConn) admit(reqID uint32, run func(qctx context.Context)) {
 	if sc.s.draining.Load() {
 		sc.writeErr(reqID, ErrShuttingDown)
 		return
@@ -405,7 +441,7 @@ func (sc *srvConn) startQuery(reqID uint32, body []byte) {
 			return
 		}
 		defer sc.s.adm.release()
-		sc.runQuery(qctx, reqID, kind, box, limit, prefetch)
+		run(qctx)
 	}()
 }
 
@@ -424,7 +460,16 @@ func (sc *srvConn) runQuery(qctx context.Context, reqID uint32, kind byte, box f
 		sc.s.countQueries.Add(1)
 	}
 
-	session := sc.s.ix.Query(qctx, box, opts...)
+	sc.streamSession(reqID, sc.s.ix.Query(qctx, box, opts...), kind == kindRange)
+}
+
+// streamSession drains one Results session to the connection: element
+// batches (when materialize is set; a count query only tallies), then
+// the msgDone terminator carrying the result count and query stats.
+// Range queries and nearest-neighbor streams share this tail — NN
+// batches simply arrive in nondecreasing distance order because the
+// session produces them that way.
+func (sc *srvConn) streamSession(reqID uint32, session *flat.Results, materialize bool) {
 	batch := make([]byte, 8, 8+sc.s.cfg.StreamBatch*elementWire)
 	putU32(batch, reqID)
 	n := 0 // elements in the current batch
@@ -436,7 +481,7 @@ func (sc *srvConn) runQuery(qctx context.Context, reqID uint32, kind byte, box f
 			break
 		}
 		count++
-		if kind == kindCount {
+		if !materialize {
 			continue
 		}
 		var eb [elementWire]byte
@@ -461,7 +506,7 @@ func (sc *srvConn) runQuery(qctx context.Context, reqID uint32, kind byte, box f
 		sc.writeErr(reqID, iterErr)
 		return
 	}
-	if kind == kindRange && n > 0 {
+	if n > 0 {
 		putU32(batch[4:], uint32(n))
 		if sc.write(msgElems, batch) != nil {
 			sc.s.cancelled.Add(1)

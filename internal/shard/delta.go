@@ -52,6 +52,18 @@ func newShardDelta(linear bool) *shardDelta {
 	return d
 }
 
+// reset empties the delta for reuse by a later staging epoch: the slab
+// truncates in place and the tree recycles its node pages and pool
+// (see rtree.DynTree.Reset). Callers must guarantee no query can still
+// probe the tree — Rebuild holds the public maintenance guard, which
+// excludes queries, and overlay snapshots never outlive pmu's read side.
+func (d *shardDelta) reset() {
+	d.slab = d.slab[:0]
+	if d.tree != nil {
+		d.tree.Reset()
+	}
+}
+
 // add stages one insert. The tree is updated first so a tree failure
 // leaves the slab unchanged (the two never disagree).
 func (d *shardDelta) add(si stagedInsert) error {

@@ -127,19 +127,34 @@ func (s *Set) StageInsert(els ...geom.Element) error {
 	// at-least-once window every WAL error path has (see
 	// walAppendLocked).
 	s.clock = base + uint64(len(els))
-	if s.delta == nil {
-		s.delta = make([]*shardDelta, len(s.shards))
-	}
 	for i, e := range els {
 		t := s.routeShard(e.Box)
-		if s.delta[t] == nil {
-			s.delta[t] = newShardDelta(s.linearOverlay)
-		}
-		if err := s.delta[t].add(stagedInsert{el: e, seq: base + 1 + uint64(i)}); err != nil {
+		if err := s.deltaLocked(t).add(stagedInsert{el: e, seq: base + 1 + uint64(i)}); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// deltaLocked returns shard t's delta, creating it on first use —
+// preferably by recycling one the last epoch's clearStagedLocked
+// retired, whose slab and tree pages are already allocated. Callers
+// hold pmu's write side.
+// flatlint:holds pmu
+func (s *Set) deltaLocked(t int) *shardDelta {
+	if s.delta == nil {
+		s.delta = make([]*shardDelta, len(s.shards))
+	}
+	if s.delta[t] == nil {
+		if n := len(s.spareDeltas); n > 0 {
+			s.delta[t] = s.spareDeltas[n-1]
+			s.spareDeltas[n-1] = nil
+			s.spareDeltas = s.spareDeltas[:n-1]
+		} else {
+			s.delta[t] = newShardDelta(s.linearOverlay)
+		}
+	}
+	return s.delta[t]
 }
 
 // walAppendLocked logs recs, syncing immediately when the set was
@@ -181,14 +196,8 @@ func (s *Set) replayWAL(recs []storage.WALRecord) error {
 		}
 		switch r.Op {
 		case storage.WALInsert:
-			if s.delta == nil {
-				s.delta = make([]*shardDelta, len(s.shards))
-			}
 			t := s.routeShard(r.Box)
-			if s.delta[t] == nil {
-				s.delta[t] = newShardDelta(s.linearOverlay)
-			}
-			if err := s.delta[t].add(stagedInsert{el: geom.Element{ID: r.ID, Box: r.Box}, seq: r.Seq}); err != nil {
+			if err := s.deltaLocked(t).add(stagedInsert{el: geom.Element{ID: r.ID, Box: r.Box}, seq: r.Seq}); err != nil {
 				return err
 			}
 		case storage.WALDelete:
@@ -655,12 +664,27 @@ func (s *Set) Rebuild() ([]int, error) {
 }
 
 // clearStagedLocked drops a consumed staging epoch: the per-shard
-// deltas (their trees die with them), the delete list, and the cached
-// delete index — the latter must not survive, or a later epoch whose
-// delete list happens to reach the same length would be served the
-// stale map. Callers hold pmu's write side.
+// deltas, the delete list, and the cached delete index — the latter
+// must not survive, or a later epoch whose delete list happens to
+// reach the same length would be served the stale map. The deltas are
+// not dropped wholesale: each is emptied in place (slab truncated,
+// delta-tree node pages recycled via DynTree.Reset) and parked on the
+// spare list for deltaLocked to reuse, so repeated stage→rebuild→stage
+// cycles stop re-allocating pool memory. The delete list itself must
+// NOT be recycled in place — live query views alias its prefix (see
+// deleteViewLocked). Callers hold pmu's write side; no query can be
+// probing the delta trees here because Rebuild runs under the public
+// maintenance guard.
 // flatlint:holds pmu
 func (s *Set) clearStagedLocked() {
+	for i, d := range s.delta {
+		if d == nil {
+			continue
+		}
+		d.reset()
+		s.spareDeltas = append(s.spareDeltas, d)
+		s.delta[i] = nil
+	}
 	s.delta = nil
 	s.deletes = nil
 	s.delIdx.Store(nil)

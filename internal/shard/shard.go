@@ -127,6 +127,12 @@ type Set struct {
 	delta   []*shardDelta   // per shard: staged inserts + their delta R-tree; guarded by pmu
 	deletes []pendingDelete // guarded by pmu
 	clock   uint64          // staging-order stamp for last-op-wins semantics; guarded by pmu
+	// spareDeltas holds the previous epoch's emptied deltas for reuse:
+	// their slabs and delta-tree page slabs are already sized for the
+	// workload's staging volume, so a stage→rebuild→stage cycle stops
+	// re-allocating them (see clearStagedLocked/deltaLocked). Guarded
+	// by pmu.
+	spareDeltas []*shardDelta
 
 	// delIdx caches the by-ID index over deletes (see deleteViewLocked);
 	// atomically published immutable snapshots, no guard needed.

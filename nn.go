@@ -1,0 +1,69 @@
+package flat
+
+import (
+	"context"
+
+	"flat/internal/geom"
+)
+
+// mergeLimit folds a NN call's k into the session's WithLimit: the
+// effective bound is the smaller of the two positives (either alone
+// when the other is unlimited).
+func mergeLimit(k, limit int) int {
+	if k > 0 && (limit <= 0 || k < limit) {
+		return k
+	}
+	return limit
+}
+
+// NN starts a streaming k-nearest-neighbor session around p: the
+// returned Results delivers the k indexed elements nearest to p, in
+// nondecreasing distance from it (distance between a point and an
+// element is the minimum distance from the point to the element's MBR,
+// zero when the box contains it). The traversal is best-first — a
+// distance-ordered frontier over the same partition graph the range
+// crawl walks — and terminates the moment the k-th result is proven
+// nearest, so the page reads scale with k and the local data density,
+// not with the index size. k <= 0 streams every element in distance
+// order (stop by breaking out of the iteration); WithLimit composes by
+// taking the smaller bound.
+//
+// The distance an element was ordered by is exactly
+// el.Box.DistToPoint(p) — recompute it from the box when needed; no
+// precision is lost in transit. Ties (equal distances) are broken
+// deterministically. WithBuffer pipelines the traversal as in Query;
+// WithShardPrefetch is a no-op (best-first order is inherently
+// sequential across shards — see ShardedIndex.NN). Safe for concurrent
+// use.
+func (ix *Index) NN(ctx context.Context, p Vec3, k int, opts ...QueryOption) *Results {
+	r := newResults(ctx, geom.PointBox(p), opts, &ix.guard, func(ctx context.Context, _ MBR, _ queryConfig, emit func(Element) bool) (QueryStats, error) {
+		return ix.inner.NN(ctx, p, func(e Element, _ float64) bool { return emit(e) })
+	})
+	r.cfg.limit = mergeLimit(k, r.cfg.limit)
+	return r
+}
+
+// NN starts a streaming k-nearest-neighbor session around p over the
+// sharded index, with the same stream contract as Index.NN: elements
+// arrive in nondecreasing distance from p and the session stops after
+// k results (k <= 0: all of them, WithLimit composes by taking the
+// smaller bound).
+//
+// Shards are visited in distance order off the MBR directory: each
+// shard's bounds lower-bound the distance of everything inside it, so
+// a shard is opened only once no already-open stream can beat that
+// bound — a probe into a well-separated region touches one shard and
+// never pays for the rest. Staged updates are overlaid exactly as in
+// Query: staged deletes filter the stream, staged inserts merge in at
+// their own distances (losing ties to bulkloaded elements, matching
+// the range path's staged-last order). WithShardPrefetch is a no-op
+// here: prefetching trades extra page reads for wall-clock overlap,
+// and a best-first traversal's whole point is to not read pages it has
+// not proven necessary. Safe for concurrent use.
+func (sx *ShardedIndex) NN(ctx context.Context, p Vec3, k int, opts ...QueryOption) *Results {
+	r := newResults(ctx, geom.PointBox(p), opts, &sx.guard, func(ctx context.Context, _ MBR, cfg queryConfig, emit func(Element) bool) (QueryStats, error) {
+		return sx.set.NNQuery(ctx, p, cfg.limit, func(e Element, _ float64) bool { return emit(e) })
+	})
+	r.cfg.limit = mergeLimit(k, r.cfg.limit)
+	return r
+}
